@@ -1,0 +1,71 @@
+// Command pushbench runs the paper's experiments and prints the tables
+// and series each figure reports.
+//
+// Usage:
+//
+//	pushbench -exp all                 # every experiment at small scale
+//	pushbench -exp fig5                # one experiment
+//	pushbench -exp fig6 -sites w1,w16  # subset of the popular sites
+//	pushbench -exp fig3a -scale paper  # paper scale (100 sites, 31 runs)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: fig1|fig2a|fig2b|pushable|fig3a|fig3b|types|fig4|fig5|fig6|all")
+	scaleName := flag.String("scale", "small", "small|paper")
+	sitesFlag := flag.String("sites", "", "comma-separated w-site ids for fig6 (default all)")
+	runs := flag.Int("runs", 0, "override repetitions per configuration")
+	nsites := flag.Int("nsites", 0, "override sites per set")
+	popN := flag.Int("population", 200_000, "population size for fig1")
+	flag.Parse()
+
+	scale := core.SmallScale()
+	if *scaleName == "paper" {
+		scale = core.PaperScale()
+	}
+	if *runs > 0 {
+		scale.Runs = *runs
+	}
+	if *nsites > 0 {
+		scale.Sites = *nsites
+	}
+	var fig6Sites []string
+	if *sitesFlag != "" {
+		fig6Sites = strings.Split(*sitesFlag, ",")
+	}
+
+	experiments := map[string]func() *core.Table{
+		"fig1":     func() *core.Table { return core.Fig1Adoption(*popN, scale.Seed) },
+		"fig2a":    func() *core.Table { return core.Fig2aVariability(scale) },
+		"fig2b":    func() *core.Table { return core.Fig2bPushVsNoPush(scale) },
+		"pushable": func() *core.Table { return core.PushableObjects(scale) },
+		"fig3a":    func() *core.Table { return core.Fig3aPushAll(scale) },
+		"fig3b":    func() *core.Table { return core.Fig3bPushAmount(scale) },
+		"types":    func() *core.Table { return core.PushByTypeAnalysis(scale) },
+		"fig4":     func() *core.Table { return core.Fig4Synthetic(scale) },
+		"fig5":     func() *core.Table { return core.Fig5Interleaving(scale.Runs, scale.Seed) },
+		"fig6":     func() *core.Table { return core.Fig6Popular(fig6Sites, scale) },
+	}
+	order := []string{"fig1", "fig2a", "fig2b", "pushable", "fig3a", "fig3b", "types", "fig4", "fig5", "fig6"}
+
+	if *exp == "all" {
+		for _, name := range order {
+			experiments[name]().Print(os.Stdout)
+		}
+		return
+	}
+	fn, ok := experiments[*exp]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (have: %s, all)\n", *exp, strings.Join(order, ", "))
+		os.Exit(2)
+	}
+	fn().Print(os.Stdout)
+}

@@ -1,0 +1,72 @@
+// Command recorder captures a website into a replayable record database,
+// playing the role of the paper's mitmproxy capture step. Two modes:
+//
+// Crawl mode (fetch a page and all subresources directly):
+//
+//	recorder -crawl http://example.org/ -out example.site
+//
+// Proxy mode (record whatever a browser fetches through it):
+//
+//	recorder -proxy :8080 -out session.site
+//	# configure the browser's HTTP proxy to localhost:8080, browse,
+//	# then SIGINT to write the database.
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+
+	"repro/internal/page"
+	"repro/internal/replay"
+)
+
+func main() {
+	crawlURL := flag.String("crawl", "", "URL to crawl and record")
+	proxyAddr := flag.String("proxy", "", "listen address for the recording proxy")
+	out := flag.String("out", "site.site", "output file")
+	maxObjects := flag.Int("max", 500, "maximum objects to record")
+	name := flag.String("name", "recorded", "site name")
+	flag.Parse()
+
+	rec := replay.NewRecorder(replay.NewDB(), http.DefaultClient)
+	switch {
+	case *crawlURL != "":
+		site, err := rec.Crawl(*name, *crawlURL, *maxObjects)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := replay.SaveSite(*out, site); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("recorded %d objects from %s into %s", site.DB.Len(), *crawlURL, *out)
+
+	case *proxyAddr != "":
+		srv := &http.Server{Addr: *proxyAddr, Handler: rec}
+		go func() {
+			log.Printf("recording proxy on %s; press Ctrl-C to save to %s", *proxyAddr, *out)
+			if err := srv.ListenAndServe(); err != http.ErrServerClosed {
+				log.Fatal(err)
+			}
+		}()
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt)
+		<-ch
+		db := rec.DB()
+		if db.Len() == 0 {
+			log.Fatal("nothing recorded")
+		}
+		base := db.Entries()[0].URL
+		site := replay.NewSite(*name, page.URL{Scheme: base.Scheme, Authority: base.Authority, Path: "/"}, db)
+		if err := replay.SaveSite(*out, site); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("saved %d objects to %s", db.Len(), *out)
+
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,26 @@
+// Package repro reproduces "Is the Web ready for HTTP/2 Server Push?"
+// (Zimmermann, Wolters, Hohlfeld, Wehrle — CoNEXT 2018): a controlled
+// record-and-replay testbed for evaluating HTTP/2 Server Push strategies,
+// including the paper's interleaving-push server scheduler.
+//
+// The implementation is stdlib-only and fully self-contained:
+//
+//   - internal/h2 + internal/hpack: a from-scratch HTTP/2 stack (frames,
+//     HPACK with Huffman coding, priority tree, flow control, pluggable
+//     push schedulers) that runs both inside a discrete-event simulator
+//     and over real net.Conn transports;
+//   - internal/sim + internal/netem: the virtual clock and the emulated
+//     DSL access network (16/1 Mbit/s, 50 ms RTT);
+//   - internal/replay: the Mahimahi-style record database, recording
+//     proxy/crawler, and per-IP replay servers with SAN coalescing;
+//   - internal/browser: the deterministic browser model (preload scanner,
+//     critical rendering path, layout, paint timeline);
+//   - internal/strategy: all push strategies from the paper, critical-CSS
+//     extraction and majority-vote push ordering;
+//   - internal/core: the testbed orchestration plus one experiment driver
+//     per figure/table of the evaluation.
+//
+// See README.md for usage, DESIGN.md for the system inventory and
+// substitutions, and EXPERIMENTS.md for paper-vs-measured results.
+// bench_test.go regenerates every figure: go test -bench=. -benchmem.
+package repro

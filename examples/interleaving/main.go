@@ -1,0 +1,21 @@
+// Interleaving: the paper's Fig. 5 motivating example. A page references
+// a stylesheet in <head>; the body grows from 10 to 90 KB. Plain push
+// sends the CSS only after the whole HTML (the pushed stream is a child
+// of the document stream); interleaving push hard-switches to the CSS
+// after a 4 KB offset and resumes the HTML — its SpeedIndex stays flat.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+func main() {
+	tab := core.Fig5Interleaving(7, 1)
+	fmt.Print(tab.String())
+
+	fmt.Println("reading the table: 'no push' grows with the HTML size because the")
+	fmt.Println("browser prioritizes the document over the CSS; 'interleaving' stays")
+	fmt.Println("flat because the critical CSS arrives after the first 4KB of HTML.")
+}

@@ -1,0 +1,46 @@
+// Strategies: run the paper's six Sec. 5 strategies against one of the
+// modelled popular sites (default w1, the wikipedia-article model whose
+// huge render-blocking document makes interleaving push shine) and print
+// relative changes versus the no-push baseline.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/metrics"
+	"repro/internal/strategy"
+)
+
+func main() {
+	id := flag.String("site", "w1", "popular site id (w1..w20)")
+	runs := flag.Int("runs", 7, "repetitions per strategy")
+	flag.Parse()
+
+	site := corpus.PopularSite(*id)
+	if site == nil {
+		log.Fatalf("unknown site %q (w1..w20)", *id)
+	}
+	tb := core.NewTestbed()
+	tb.Runs = *runs
+
+	fmt.Printf("site %s: %d objects on %d hosts, %.0f%% pushable\n\n",
+		site.Name, site.DB.Len(), len(site.Hosts()), site.PushableFraction()*100)
+
+	tr := tb.Trace(site, 5)
+	base := tb.EvaluateStrategy(site, strategy.NoPush{}, nil)
+	fmt.Printf("%-26s %10s %12s %10s\n", "strategy", "ΔSI", "ΔPLT", "KB pushed")
+	fmt.Printf("%-26s %9.1fms %11.1fms %10d\n", "no push (baseline)",
+		float64(base.MedianSI)/1e6, float64(base.MedianPLT)/1e6, 0)
+	for _, st := range core.PopularStrategies()[1:] {
+		ev := tb.EvaluateStrategy(site, st, tr)
+		fmt.Printf("%-26s %9.1f%% %11.1f%% %10d\n", st.Name(),
+			metrics.RelChange(ev.SI.Mean(), base.SI.Mean())*100,
+			metrics.RelChange(ev.PLT.Mean(), base.PLT.Mean())*100,
+			ev.BytesPushed/1024)
+	}
+	fmt.Println("\nΔ<0 is an improvement over no push (paper Fig. 6).")
+}

@@ -1,0 +1,836 @@
+package browser
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/cssx"
+	"repro/internal/h2"
+	"repro/internal/htmlx"
+	"repro/internal/metrics"
+	"repro/internal/netem"
+	"repro/internal/page"
+	"repro/internal/replay"
+	"repro/internal/sim"
+)
+
+// ResourceTiming records one fetched resource for traces and dependency
+// analysis.
+type ResourceTiming struct {
+	URL    string
+	Kind   page.Kind
+	Start  time.Duration // request issued / push adopted (absolute)
+	End    time.Duration // last byte (absolute)
+	Bytes  int
+	Pushed bool
+	Weight uint8
+	Parent uint32
+}
+
+// Result is the outcome of one page load.
+type Result struct {
+	ConnectEnd       time.Duration // first connection's connectEnd (absolute)
+	OnLoadAt         time.Duration // absolute onload time
+	PLT              time.Duration // OnLoadAt - ConnectEnd (the paper's PLT)
+	SpeedIndex       time.Duration
+	FirstPaint       time.Duration // relative to ConnectEnd
+	VisuallyComplete time.Duration
+
+	Completed bool
+	Requests  int
+	Conns     int
+
+	PushedAccepted    int
+	PushedCancelled   int
+	PushedUnused      int
+	BytesPushedUsed   int64
+	BytesPushedWasted int64
+
+	Progress []metrics.ProgressPoint
+	Timings  []ResourceTiming
+}
+
+type resource struct {
+	url   page.URL
+	key   string
+	kind  page.Kind
+	entry *replay.Entry
+
+	discovered bool // referenced by the document
+	requested  bool
+	pushed     bool
+	cancelled  bool
+
+	loaded   bool // transfer complete
+	ready    bool // post-processing complete (CSS parsed, imports ready)
+	executed bool // JS ran
+
+	start, end time.Duration
+	bytes      int
+	body       []byte
+	weight     uint8
+	parent     uint32
+
+	sheet       *cssx.Stylesheet
+	pendingImps map[string]bool // outstanding @imports
+
+	onLoaded    []func()
+	cssReadyCBs []func()
+}
+
+type conn struct {
+	key        string
+	client     *h2.Client
+	ready      bool
+	queue      []func()
+	connectEnd time.Duration
+	mainID     uint32 // stream ID of the base document if on this conn
+}
+
+type milestone struct {
+	offset int
+	// exactly one of these is set
+	res    *htmlx.Resource
+	script *htmlx.InlineScript
+	style  *htmlx.InlineStyle
+}
+
+type cssRef struct {
+	offset int
+	res    *resource
+}
+
+type cssWaiter struct {
+	offset int
+	fn     func()
+}
+
+// Loader drives one page load inside the simulator.
+type Loader struct {
+	s    *sim.Sim
+	farm *replay.Farm
+	site *replay.Site
+	cfg  Config
+	res  *Result
+
+	conns     map[string]*conn
+	resources map[string]*resource
+
+	doc        *htmlx.Document
+	lay        *layoutResult
+	milestones []milestone
+	mi         int
+
+	received     int
+	htmlComplete bool
+	parsePos     int
+	parsing      bool
+	parserBlock  *resource // sync script being waited for
+	execBlocked  bool      // a script (inline or sync) is executing / awaiting CSSOM
+	parserDone   bool
+
+	cssRefs    []cssRef
+	cssWaiters []cssWaiter
+	fonts      map[string]*resource // family -> font resource
+
+	deferred []*resource
+
+	mainHost  string
+	painted   float64
+	loadFired bool
+	horizon   *sim.Event
+	baseEntry *replay.Entry
+}
+
+// New prepares a loader for the farm's site.
+func New(s *sim.Sim, farm *replay.Farm, cfg Config) *Loader {
+	return &Loader{
+		s:         s,
+		farm:      farm,
+		site:      farm.Site,
+		cfg:       cfg,
+		res:       &Result{},
+		conns:     map[string]*conn{},
+		resources: map[string]*resource{},
+		fonts:     map[string]*resource{},
+	}
+}
+
+// Result returns the load outcome; call after the simulation ran.
+func (ld *Loader) Result() *Result { return ld.res }
+
+// Start begins the navigation: dial the base origin and request the
+// document. The caller then runs the simulator.
+func (ld *Loader) Start() {
+	base := ld.site.Base
+	ld.mainHost = base.Authority
+	ld.baseEntry = ld.site.DB.Lookup(base.Authority, base.Path)
+	if ld.baseEntry == nil {
+		ld.res.Completed = false
+		return
+	}
+	ld.prepareDocument(ld.baseEntry.Body)
+
+	r := ld.ensureResource(base, page.KindHTML)
+	r.discovered = true
+	r.requested = true
+	c := ld.connFor(base.Authority)
+	issue := func() {
+		ld.res.ConnectEnd = c.connectEnd
+		ld.horizon = ld.s.At(c.connectEnd+ld.cfg.MaxDuration, func() {
+			if !ld.loadFired {
+				ld.res.Completed = false
+				ld.res.PLT = ld.cfg.MaxDuration
+				ld.finishVisuals(c.connectEnd + ld.cfg.MaxDuration)
+			}
+		})
+		r.start = ld.s.Now()
+		r.weight = weightHTML
+		cs := c.client.Request(h2.Request{
+			Method: "GET", Scheme: base.Scheme, Authority: base.Authority, Path: base.Path,
+		}, h2.RequestOpts{
+			Priority: &h2.PriorityParam{ParentID: 0, Weight: weightHTML},
+			OnData: func(chunk []byte) {
+				ld.received += len(chunk)
+				r.bytes += len(chunk)
+				ld.preloadScan()
+				ld.advanceParser()
+			},
+			OnComplete: func(total int) {
+				ld.htmlComplete = true
+				r.loaded, r.ready, r.executed = true, true, true
+				r.end = ld.s.Now()
+				ld.advanceParser()
+				ld.checkLoad()
+			},
+		})
+		ld.res.Requests++
+		c.mainID = cs.St.ID
+	}
+	if c.ready {
+		issue()
+	} else {
+		c.queue = append(c.queue, issue)
+	}
+}
+
+// prepareDocument parses the full document once; all *timing* is still
+// gated on received bytes and compute delays (see package comment).
+func (ld *Loader) prepareDocument(raw []byte) {
+	ld.doc = htmlx.Parse(raw)
+	ld.lay = layout(ld.doc, ld.cfg.ViewportW, ld.cfg.ViewportH)
+	for i := range ld.doc.Resources {
+		r := &ld.doc.Resources[i]
+		ld.milestones = append(ld.milestones, milestone{offset: r.Offset, res: r})
+	}
+	for i := range ld.doc.InlineScripts {
+		s := &ld.doc.InlineScripts[i]
+		ld.milestones = append(ld.milestones, milestone{offset: s.Offset, script: s})
+	}
+	for i := range ld.doc.InlineStyles {
+		st := &ld.doc.InlineStyles[i]
+		ld.milestones = append(ld.milestones, milestone{offset: st.Offset, style: st})
+	}
+	sort.SliceStable(ld.milestones, func(i, j int) bool {
+		return ld.milestones[i].offset < ld.milestones[j].offset
+	})
+	// Pre-register render-blocking CSS references (everything except
+	// print stylesheets blocks paint of content after its reference).
+	for i := range ld.doc.Resources {
+		r := &ld.doc.Resources[i]
+		if r.Tag == "link" && r.Media != "print" {
+			u, err := page.ParseURL(r.URL, ld.site.Base)
+			if err != nil {
+				continue
+			}
+			res := ld.ensureResource(u, page.KindCSS)
+			ld.cssRefs = append(ld.cssRefs, cssRef{offset: r.Offset, res: res})
+		}
+	}
+}
+
+// --- resource bookkeeping ---
+
+func (ld *Loader) ensureResource(u page.URL, kind page.Kind) *resource {
+	key := u.String()
+	if r, ok := ld.resources[key]; ok {
+		return r
+	}
+	r := &resource{url: u, key: key, kind: kind, entry: ld.site.DB.Lookup(u.Authority, u.Path)}
+	if r.entry != nil && kind == page.KindOther {
+		r.kind = r.entry.Kind()
+	}
+	ld.resources[key] = r
+	return r
+}
+
+func classWeight(kind page.Kind, async bool) uint8 {
+	switch kind {
+	case page.KindHTML:
+		return weightHTML
+	case page.KindCSS:
+		return weightCSS
+	case page.KindFont:
+		return weightFont
+	case page.KindJS:
+		if async {
+			return weightJSAsync
+		}
+		return weightJSSync
+	case page.KindImage:
+		return weightImage
+	}
+	return weightOther
+}
+
+// fetch requests a resource unless it is already in flight (requested or
+// adopted from a push).
+func (ld *Loader) fetch(r *resource, async bool) {
+	r.discovered = true
+	if r.requested || (r.pushed && !r.cancelled) || r.loaded {
+		return
+	}
+	r.requested = true
+	r.start = ld.s.Now()
+	r.weight = classWeight(r.kind, async)
+	c := ld.connFor(r.url.Authority)
+	issue := func() {
+		parent := uint32(0)
+		if c.mainID != 0 {
+			parent = c.mainID
+		}
+		r.parent = parent
+		c.client.Request(h2.Request{
+			Method: "GET", Scheme: r.url.Scheme, Authority: r.url.Authority, Path: r.url.Path,
+		}, h2.RequestOpts{
+			Priority:   &h2.PriorityParam{ParentID: parent, Weight: r.weight},
+			OnData:     func(chunk []byte) { ld.onChunk(r, chunk) },
+			OnComplete: func(total int) { ld.onLoaded(r) },
+		})
+		ld.res.Requests++
+	}
+	if c.ready {
+		issue()
+	} else {
+		c.queue = append(c.queue, issue)
+	}
+}
+
+func (ld *Loader) onChunk(r *resource, chunk []byte) {
+	r.bytes += len(chunk)
+	if r.kind == page.KindCSS || r.kind == page.KindJS {
+		r.body = append(r.body, chunk...)
+	}
+}
+
+// connFor returns (dialling if needed) the coalesced connection for host.
+func (ld *Loader) connFor(host string) *conn {
+	key := ld.site.ConnKey(host)
+	if c, ok := ld.conns[key]; ok {
+		return c
+	}
+	c := &conn{key: key}
+	ld.conns[key] = c
+	ld.res.Conns++
+	ld.farm.Dial(host, func(end *netem.End) {
+		settings := h2.DefaultSettings()
+		settings.EnablePush = ld.cfg.EnablePush
+		settings.InitialWindowSize = 6 * 1024 * 1024
+		cl := h2.NewClient(settings)
+		cl.OnPush = func(parent, promised *h2.ClientStream) bool {
+			return ld.onPush(promised)
+		}
+		h2.AttachSim(cl.Core, end)
+		c.client = cl
+		c.ready = true
+		c.connectEnd = ld.s.Now()
+		for _, fn := range c.queue {
+			fn()
+		}
+		c.queue = nil
+	})
+	return c
+}
+
+// onPush decides whether to adopt a promised stream.
+func (ld *Loader) onPush(promised *h2.ClientStream) bool {
+	u, err := page.ParseURL(promised.Req.URL(), page.URL{})
+	if err != nil {
+		return false
+	}
+	r := ld.ensureResource(u, page.KindFromPath(u.Path))
+	if r.requested || r.loaded || (r.pushed && !r.cancelled) {
+		// Duplicate of an in-flight or finished fetch: cancel, as a
+		// browser with the object in cache would (Sec. 2.1).
+		ld.res.PushedCancelled++
+		return false
+	}
+	r.pushed = true
+	r.start = ld.s.Now()
+	r.weight = classWeight(r.kind, false)
+	ld.res.PushedAccepted++
+	promised.OnData = func(chunk []byte) { ld.onChunk(r, chunk) }
+	promised.OnComplete = func(total int) { ld.onLoaded(r) }
+	return true
+}
+
+// --- preload scanner ---
+
+// preloadScan discovers resource references in all received (not
+// necessarily parsed) bytes, modelling Chromium's lookahead scanner.
+func (ld *Loader) preloadScan() {
+	if !ld.cfg.PreloadScanner {
+		return
+	}
+	for i := range ld.doc.Resources {
+		ref := &ld.doc.Resources[i]
+		if ref.Offset > ld.received {
+			break
+		}
+		ld.discoverRef(ref)
+	}
+}
+
+// discoverRef fetches the resource behind a document reference.
+func (ld *Loader) discoverRef(ref *htmlx.Resource) *resource {
+	u, err := page.ParseURL(ref.URL, ld.site.Base)
+	if err != nil {
+		return nil
+	}
+	kind := page.KindFromPath(u.Path)
+	switch ref.Tag {
+	case "link":
+		kind = page.KindCSS
+	case "script":
+		kind = page.KindJS
+	case "img":
+		kind = page.KindImage
+	}
+	r := ld.ensureResource(u, kind)
+	ld.fetch(r, ref.Async || ref.Defer)
+	return r
+}
+
+// --- parser ---
+
+func (ld *Loader) computeDelay(ms float64) time.Duration {
+	if ms < 0 {
+		ms = 0
+	}
+	if j := ld.cfg.JitterFrac; j > 0 {
+		ms *= 1 + (ld.s.Rand().Float64()*2-1)*j
+	}
+	return time.Duration(ms * float64(time.Millisecond))
+}
+
+func (ld *Loader) advanceParser() {
+	if ld.parsing || ld.parserDone || ld.parserBlock != nil || ld.execBlocked || ld.doc == nil {
+		return
+	}
+	target := len(ld.doc.Raw)
+	atMilestone := false
+	if ld.mi < len(ld.milestones) {
+		target = ld.milestones[ld.mi].offset
+		atMilestone = true
+	}
+	if target > ld.received {
+		// Cannot reach the next milestone yet: parse what we have.
+		if ld.received <= ld.parsePos {
+			return // wait for more bytes
+		}
+		ld.scheduleParse(ld.received, false)
+		return
+	}
+	if target <= ld.parsePos {
+		if atMilestone {
+			ld.handleMilestone()
+		} else {
+			ld.finishParsing()
+		}
+		return
+	}
+	ld.scheduleParse(target, atMilestone)
+}
+
+func (ld *Loader) scheduleParse(to int, milestone bool) {
+	ld.parsing = true
+	d := ld.computeDelay(float64(to-ld.parsePos) / ld.cfg.HTMLParseRate)
+	ld.s.After(d, func() {
+		ld.parsing = false
+		ld.parsePos = to
+		ld.tryPaint()
+		if milestone {
+			ld.handleMilestone()
+		} else {
+			ld.advanceParser()
+		}
+	})
+}
+
+func (ld *Loader) handleMilestone() {
+	m := ld.milestones[ld.mi]
+	ld.mi++
+	switch {
+	case m.res != nil:
+		r := ld.discoverRef(m.res)
+		if r != nil && m.res.Tag == "script" {
+			if m.res.Defer {
+				ld.deferred = append(ld.deferred, r)
+			} else if !m.res.Async {
+				// Synchronous external script: parser-blocking.
+				ld.blockOnScript(r, m.offset)
+				return
+			}
+		}
+	case m.script != nil:
+		// Inline script: executes in place; needs CSSOM of prior sheets.
+		ld.execAfterCSS(m.offset, float64(len(m.script.Content))/ld.cfg.JSExecRate, nil)
+		return
+	case m.style != nil:
+		// Inline style: available with the document, negligible cost.
+	}
+	ld.advanceParser()
+}
+
+// blockOnScript pauses the parser until the script arrived and executed.
+func (ld *Loader) blockOnScript(r *resource, offset int) {
+	ld.parserBlock = r
+	run := func() {
+		cost := float64(len(r.body)) / ld.cfg.JSExecRate
+		if r.entry != nil {
+			cost += r.entry.Meta.ExecMS
+		}
+		ld.execAfterCSS(offset, cost, r)
+	}
+	if r.loaded {
+		run()
+		return
+	}
+	r.onLoaded = append(r.onLoaded, run)
+}
+
+// execAfterCSS waits until every stylesheet referenced before offset is
+// ready, then charges the execution cost and resumes the parser.
+func (ld *Loader) execAfterCSS(offset int, costMS float64, r *resource) {
+	ld.execBlocked = true
+	run := func() {
+		d := ld.computeDelay(costMS)
+		ld.s.After(d, func() {
+			ld.execBlocked = false
+			if r != nil {
+				r.executed = true
+				ld.parserBlock = nil
+			}
+			ld.checkLoad()
+			ld.advanceParser()
+		})
+	}
+	if ld.cssReadyBefore(offset) {
+		run()
+		return
+	}
+	ld.cssWaiters = append(ld.cssWaiters, cssWaiter{offset: offset, fn: run})
+}
+
+func (ld *Loader) cssReadyBefore(offset int) bool {
+	for _, ref := range ld.cssRefs {
+		if ref.offset < offset && ref.res.discovered && !ref.res.ready {
+			return false
+		}
+	}
+	return true
+}
+
+func (ld *Loader) notifyCSSWaiters() {
+	var rest []cssWaiter
+	for _, w := range ld.cssWaiters {
+		if ld.cssReadyBefore(w.offset) {
+			w.fn()
+		} else {
+			rest = append(rest, w)
+		}
+	}
+	ld.cssWaiters = rest
+}
+
+func (ld *Loader) finishParsing() {
+	if ld.parserDone || !ld.htmlComplete || ld.parsePos < len(ld.doc.Raw) {
+		return
+	}
+	ld.parserDone = true
+	ld.runDeferred(0)
+}
+
+func (ld *Loader) runDeferred(i int) {
+	if i >= len(ld.deferred) {
+		ld.tryPaint()
+		ld.checkLoad()
+		return
+	}
+	r := ld.deferred[i]
+	run := func() {
+		cost := float64(len(r.body)) / ld.cfg.JSExecRate
+		if r.entry != nil {
+			cost += r.entry.Meta.ExecMS
+		}
+		ld.s.After(ld.computeDelay(cost), func() {
+			r.executed = true
+			ld.runDeferred(i + 1)
+		})
+	}
+	if r.loaded {
+		run()
+	} else {
+		r.onLoaded = append(r.onLoaded, run)
+	}
+}
+
+// --- resource completion ---
+
+func (ld *Loader) onLoaded(r *resource) {
+	if r.loaded {
+		return
+	}
+	r.loaded = true
+	r.end = ld.s.Now()
+	cbs := r.onLoaded
+	r.onLoaded = nil
+	switch r.kind {
+	case page.KindCSS:
+		d := ld.computeDelay(float64(len(r.body)) / ld.cfg.CSSParseRate)
+		if r.entry != nil {
+			d += ld.computeDelay(r.entry.Meta.ParseMS)
+		}
+		ld.s.After(d, func() { ld.onCSSParsed(r) })
+	case page.KindJS:
+		r.ready = true
+		if ld.parserBlock != r {
+			// Async or pushed-ahead script: execute off the parser path.
+			cost := float64(len(r.body)) / ld.cfg.JSExecRate
+			if r.entry != nil {
+				cost += r.entry.Meta.ExecMS
+			}
+			ld.s.After(ld.computeDelay(cost), func() {
+				r.executed = true
+				ld.checkLoad()
+			})
+		}
+	default:
+		r.ready = true
+		r.executed = true
+	}
+	for _, fn := range cbs {
+		fn()
+	}
+	ld.tryPaint()
+	ld.checkLoad()
+}
+
+func (ld *Loader) onCSSParsed(r *resource) {
+	r.sheet = cssx.Parse(string(r.body))
+	// Fonts and asset images become fetchable only now (they are not
+	// preload-scannable), which is why the paper pushes "hidden" fonts.
+	for _, ff := range r.sheet.FontFaces {
+		if ff.URL == "" || ff.Family == "" {
+			continue
+		}
+		u, err := page.ParseURL(ff.URL, r.url)
+		if err != nil {
+			continue
+		}
+		fr := ld.ensureResource(u, page.KindFont)
+		if _, ok := ld.fonts[ff.Family]; !ok {
+			ld.fonts[ff.Family] = fr
+		}
+		ld.fetch(fr, false)
+	}
+	for _, asset := range r.sheet.AssetURLs {
+		u, err := page.ParseURL(asset, r.url)
+		if err != nil {
+			continue
+		}
+		ar := ld.ensureResource(u, page.KindImage)
+		ld.fetch(ar, true)
+	}
+	// @imports must be ready before this sheet counts as ready.
+	if len(r.sheet.Imports) > 0 {
+		r.pendingImps = map[string]bool{}
+		for _, imp := range r.sheet.Imports {
+			u, err := page.ParseURL(imp, r.url)
+			if err != nil {
+				continue
+			}
+			ir := ld.ensureResource(u, page.KindCSS)
+			if ir.ready {
+				continue
+			}
+			r.pendingImps[ir.key] = true
+			key := ir.key
+			ir.onLoaded = append(ir.onLoaded, func() {
+				// Imported sheet still needs its own parse; hook ready.
+				ld.whenCSSReady(ir, func() {
+					delete(r.pendingImps, key)
+					if len(r.pendingImps) == 0 {
+						ld.markCSSReady(r)
+					}
+				})
+			})
+			ld.fetch(ir, false)
+		}
+		if len(r.pendingImps) == 0 {
+			ld.markCSSReady(r)
+		}
+		return
+	}
+	ld.markCSSReady(r)
+}
+
+// whenCSSReady invokes fn once r.ready (CSS parse + imports) holds.
+func (ld *Loader) whenCSSReady(r *resource, fn func()) {
+	if r.ready {
+		fn()
+		return
+	}
+	r.cssReadyCBs = append(r.cssReadyCBs, fn)
+}
+
+func (ld *Loader) markCSSReady(r *resource) {
+	if r.ready {
+		return
+	}
+	r.ready = true
+	r.executed = true
+	cbs := r.cssReadyCBs
+	r.cssReadyCBs = nil
+	for _, fn := range cbs {
+		fn()
+	}
+	ld.notifyCSSWaiters()
+	ld.tryPaint()
+	ld.checkLoad()
+}
+
+// --- paint & load ---
+
+func (ld *Loader) unitReady(u *visualUnit) bool {
+	if ld.parsePos < u.offset {
+		return false
+	}
+	for _, ref := range ld.cssRefs {
+		if ref.offset < u.offset && ref.res.discovered && !ref.res.ready {
+			return false
+		}
+	}
+	if u.isImage && u.imgURL != "" {
+		iu, err := page.ParseURL(u.imgURL, ld.site.Base)
+		if err == nil {
+			if r, ok := ld.resources[iu.String()]; ok && !r.loaded {
+				return false
+			}
+		}
+	}
+	if u.fontFam != "" {
+		if fr, ok := ld.fonts[u.fontFam]; ok && !fr.loaded {
+			return false
+		}
+		// If the font-face is not yet known, any pending CSS keeps the
+		// text hidden via the css-ready check above; an unknown family
+		// with all CSS ready paints with a fallback font.
+	}
+	return true
+}
+
+func (ld *Loader) tryPaint() {
+	if ld.lay == nil || ld.lay.totalATFArea == 0 {
+		return
+	}
+	changed := false
+	for _, u := range ld.lay.units {
+		if !u.painted && ld.unitReady(u) {
+			u.painted = true
+			ld.painted += u.area
+			changed = true
+		}
+	}
+	if !changed {
+		return
+	}
+	now := ld.s.Now()
+	frac := ld.painted / ld.lay.totalATFArea
+	rel := now - ld.res.ConnectEnd
+	if len(ld.res.Progress) > 0 && ld.res.Progress[len(ld.res.Progress)-1].T == rel {
+		ld.res.Progress[len(ld.res.Progress)-1].Fraction = frac
+	} else {
+		ld.res.Progress = append(ld.res.Progress, metrics.ProgressPoint{T: rel, Fraction: frac})
+	}
+	if ld.res.FirstPaint == 0 {
+		ld.res.FirstPaint = rel
+	}
+	if frac >= 1 && ld.res.VisuallyComplete == 0 {
+		ld.res.VisuallyComplete = rel
+	}
+}
+
+// checkLoad fires onload when the document is parsed and every
+// discovered resource has finished loading and executing.
+func (ld *Loader) checkLoad() {
+	if ld.loadFired || !ld.parserDone {
+		return
+	}
+	for _, r := range ld.resources {
+		if !r.discovered || r.cancelled {
+			continue
+		}
+		if !r.loaded || !r.ready || !r.executed {
+			return
+		}
+	}
+	ld.loadFired = true
+	now := ld.s.Now()
+	ld.res.OnLoadAt = now
+	ld.res.PLT = now - ld.res.ConnectEnd
+	ld.res.Completed = true
+	if ld.horizon != nil {
+		ld.horizon.Cancel()
+	}
+	ld.finishVisuals(now)
+}
+
+// finishVisuals computes SpeedIndex and final stats.
+func (ld *Loader) finishVisuals(endAt time.Duration) {
+	rel := endAt - ld.res.ConnectEnd
+	ld.res.SpeedIndex = metrics.SpeedIndex(ld.res.Progress, rel)
+	if ld.res.VisuallyComplete == 0 {
+		ld.res.VisuallyComplete = rel
+	}
+	// Push accounting.
+	for _, r := range ld.resources {
+		if r.pushed && !r.cancelled {
+			if r.discovered {
+				ld.res.BytesPushedUsed += int64(r.bytes)
+			} else {
+				ld.res.PushedUnused++
+				ld.res.BytesPushedWasted += int64(r.bytes)
+			}
+		}
+	}
+	// Timings, ordered by start.
+	ld.res.Timings = ld.res.Timings[:0]
+	for _, r := range ld.resources {
+		if r.start == 0 && !r.pushed && !r.requested {
+			continue
+		}
+		ld.res.Timings = append(ld.res.Timings, ResourceTiming{
+			URL: r.key, Kind: r.kind, Start: r.start, End: r.end,
+			Bytes: r.bytes, Pushed: r.pushed && !r.cancelled,
+			Weight: r.weight, Parent: r.parent,
+		})
+	}
+	sort.Slice(ld.res.Timings, func(i, j int) bool {
+		a, b := ld.res.Timings[i], ld.res.Timings[j]
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		return a.URL < b.URL
+	})
+}

@@ -1,0 +1,429 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/crawl"
+	"repro/internal/metrics"
+	"repro/internal/page"
+	"repro/internal/replay"
+	"repro/internal/strategy"
+)
+
+// Table is a printable experiment result.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Print renders the table with aligned columns.
+func (t *Table) Print(w io.Writer) {
+	fmt.Fprintf(w, "== %s ==\n", t.Title)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, strings.Join(t.Header, "\t"))
+	for _, r := range t.Rows {
+		fmt.Fprintln(tw, strings.Join(r, "\t"))
+	}
+	tw.Flush()
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+func (t *Table) String() string {
+	var sb strings.Builder
+	t.Print(&sb)
+	return sb.String()
+}
+
+func ms(d time.Duration) string { return fmt.Sprintf("%.0f", float64(d)/float64(time.Millisecond)) }
+
+func pct(f float64) string { return fmt.Sprintf("%.1f%%", f*100) }
+
+// ExperimentScale shrinks the paper-size experiments to tractable
+// defaults for tests and benchmarks; cmd/pushbench can run full scale.
+type ExperimentScale struct {
+	Sites int // sites per set (paper: 100)
+	Runs  int // repetitions per configuration (paper: 31)
+	Seed  int64
+}
+
+// SmallScale is used by unit tests and benchmarks.
+func SmallScale() ExperimentScale { return ExperimentScale{Sites: 12, Runs: 5, Seed: 1} }
+
+// PaperScale matches the paper's configuration.
+func PaperScale() ExperimentScale { return ExperimentScale{Sites: 100, Runs: 31, Seed: 1} }
+
+// --- Fig. 1: adoption of H2 and Server Push over one year ---
+
+// Fig1Adoption regenerates the two adoption series. The population is
+// synthetic (see internal/crawl) with N domains standing in for the
+// Alexa 1M.
+func Fig1Adoption(n int, seed int64) *Table {
+	pop := crawl.DefaultPopulation(n, seed)
+	sc := crawl.NewScanner(seed, 0.01)
+	series := sc.Study(pop)
+	t := &Table{
+		Title:  "Fig 1: HTTP/2 and Server Push adoption over 12 monthly scans",
+		Header: []string{"month", "probed", "h2", "push"},
+		Notes:  []string{fmt.Sprintf("population %d domains standing in for the Alexa 1M; calibrated 120K->240K H2, 400->800 push", n)},
+	}
+	for _, r := range series {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(r.Month), fmt.Sprint(r.Probed), fmt.Sprint(r.H2Count), fmt.Sprint(r.PushCount),
+		})
+	}
+	return t
+}
+
+// --- Fig. 2a: testbed vs Internet variability ---
+
+// Fig2aVariability compares the per-site standard error of PLT and
+// SpeedIndex between testbed and Internet modes, with and without push.
+func Fig2aVariability(scale ExperimentScale) *Table {
+	sites := corpus.GenerateSet(corpus.RandomProfile(), scale.Sites, scale.Seed)
+	type cell struct{ plt, si []float64 }
+	collect := func(mode Mode, push bool) cell {
+		var c cell
+		for _, site := range sites {
+			tb := NewTestbed()
+			tb.Runs = scale.Runs
+			tb.Mode = mode
+			var st strategy.Strategy = strategy.NoPush{}
+			if push {
+				st = strategy.PushAll{}
+			}
+			ev := tb.EvaluateStrategy(site, st, nil)
+			c.plt = append(c.plt, float64(ev.PLT.StdErr())/float64(time.Millisecond))
+			c.si = append(c.si, float64(ev.SI.StdErr())/float64(time.Millisecond))
+		}
+		return c
+	}
+	t := &Table{
+		Title:  "Fig 2a: std. error of PLT/SpeedIndex per site, testbed vs Internet",
+		Header: []string{"config", "PLT sigma<50ms", "PLT sigma<100ms", "SI sigma<50ms", "SI sigma<100ms", "median PLT sigma (ms)"},
+		Notes:  []string{"paper: testbed 85%/95% of sites under 50/100ms; Internet only 5%/14%"},
+	}
+	for _, cfg := range []struct {
+		name string
+		mode Mode
+		push bool
+	}{
+		{"push (tb)", ModeTestbed, true},
+		{"no push (tb)", ModeTestbed, false},
+		{"push (Inet)", ModeInternet, true},
+		{"no push (Inet)", ModeInternet, false},
+	} {
+		c := collect(cfg.mode, cfg.push)
+		med := metrics.CDF(c.plt)[len(c.plt)/2].Value
+		t.Rows = append(t.Rows, []string{
+			cfg.name,
+			pct(metrics.FractionBelow(c.plt, 50)),
+			pct(metrics.FractionBelow(c.plt, 100)),
+			pct(metrics.FractionBelow(c.si, 50)),
+			pct(metrics.FractionBelow(c.si, 100)),
+			fmt.Sprintf("%.1f", med),
+		})
+	}
+	return t
+}
+
+// --- Fig. 2b / 3a / 3b: strategy deltas ---
+
+// deltaVsNoPush evaluates a strategy and the no-push baseline per site
+// and returns per-site median deltas in milliseconds (negative = push
+// better).
+func deltaVsNoPush(sites []*replay.Site, st strategy.Strategy, scale ExperimentScale, trace bool) (dPLT, dSI []float64) {
+	for _, site := range sites {
+		tb := NewTestbed()
+		tb.Runs = scale.Runs
+		var tr *strategy.Trace
+		if trace {
+			tr = tb.Trace(site, minInt(5, scale.Runs))
+		}
+		baseEv := tb.EvaluateStrategy(site, strategy.NoPush{}, nil)
+		ev := tb.EvaluateStrategy(site, st, tr)
+		dPLT = append(dPLT, float64(ev.MedianPLT-baseEv.MedianPLT)/float64(time.Millisecond))
+		dSI = append(dSI, float64(ev.MedianSI-baseEv.MedianSI)/float64(time.Millisecond))
+	}
+	return
+}
+
+// Fig2bPushVsNoPush reproduces the testbed validation: pushing the same
+// objects as recorded vs. the no-push baseline.
+func Fig2bPushVsNoPush(scale ExperimentScale) *Table {
+	sites := corpus.GenerateSet(corpus.RandomProfile(), scale.Sites, scale.Seed)
+	dPLT, dSI := deltaVsNoPush(sites, strategy.PushAll{}, scale, true)
+	t := &Table{
+		Title:  "Fig 2b: delta push vs no push (testbed), per-site medians",
+		Header: []string{"metric", "improved (<0)", "no benefit (>=0)", "median delta (ms)"},
+		Notes:  []string{"paper: no PLT benefit for 49% of sites, no SpeedIndex benefit for 35%"},
+	}
+	add := func(name string, xs []float64) {
+		med := metrics.CDF(xs)[len(xs)/2].Value
+		imp := metrics.FractionBelow(xs, 0)
+		t.Rows = append(t.Rows, []string{name, pct(imp), pct(1 - imp), fmt.Sprintf("%.1f", med)})
+	}
+	add("PLT", dPLT)
+	add("SpeedIndex", dSI)
+	return t
+}
+
+// PushableObjects reproduces the Sec. 4.2 statistic on both site sets.
+func PushableObjects(scale ExperimentScale) *Table {
+	t := &Table{
+		Title:  "Sec 4.2: fraction of sites with <20% pushable objects",
+		Header: []string{"set", "sites", "<20% pushable", "median pushable"},
+		Notes:  []string{"paper: top-100 52%, random-100 24%"},
+	}
+	for _, prof := range []corpus.Profile{corpus.TopProfile(), corpus.RandomProfile()} {
+		sites := corpus.GenerateSet(prof, scale.Sites, scale.Seed)
+		var fracs []float64
+		low := 0
+		for _, s := range sites {
+			f := s.PushableFraction()
+			fracs = append(fracs, f)
+			if f < 0.2 {
+				low++
+			}
+		}
+		med := metrics.CDF(fracs)[len(fracs)/2].Value
+		t.Rows = append(t.Rows, []string{
+			prof.Name, fmt.Sprint(len(sites)),
+			pct(float64(low) / float64(len(sites))), pct(med),
+		})
+	}
+	return t
+}
+
+// Fig3aPushAll evaluates push-all vs no-push on both sets.
+func Fig3aPushAll(scale ExperimentScale) *Table {
+	t := &Table{
+		Title:  "Fig 3a: SpeedIndex delta, push all (computed order) vs no push",
+		Header: []string{"set", "SI improved", "PLT improved", "median dSI (ms)", "median dPLT (ms)"},
+		Notes:  []string{"paper: only 58% (top-100) / 45% (random-100) of sites benefit"},
+	}
+	for _, prof := range []corpus.Profile{corpus.TopProfile(), corpus.RandomProfile()} {
+		sites := corpus.GenerateSet(prof, scale.Sites, scale.Seed)
+		dPLT, dSI := deltaVsNoPush(sites, strategy.PushAll{}, scale, true)
+		t.Rows = append(t.Rows, []string{
+			prof.Name,
+			pct(metrics.FractionBelow(dSI, 0)),
+			pct(metrics.FractionBelow(dPLT, 0)),
+			fmt.Sprintf("%.1f", metrics.CDF(dSI)[len(dSI)/2].Value),
+			fmt.Sprintf("%.1f", metrics.CDF(dPLT)[len(dPLT)/2].Value),
+		})
+	}
+	return t
+}
+
+// Fig3bPushAmount sweeps the number of pushed objects on the random set.
+func Fig3bPushAmount(scale ExperimentScale) *Table {
+	sites := corpus.GenerateSet(corpus.RandomProfile(), scale.Sites, scale.Seed)
+	t := &Table{
+		Title:  "Fig 3b: delta vs no push when pushing the first n objects (random-100)",
+		Header: []string{"n", "PLT improved", "SI improved", "median dPLT (ms)", "median dSI (ms)"},
+		Notes:  []string{"paper: pushing less reduces detrimental effects but rarely helps much"},
+	}
+	strategies := []strategy.Strategy{
+		strategy.PushFirstN{N: 1},
+		strategy.PushFirstN{N: 5},
+		strategy.PushFirstN{N: 10},
+		strategy.PushFirstN{N: 15},
+		strategy.PushAll{},
+	}
+	for _, st := range strategies {
+		dPLT, dSI := deltaVsNoPush(sites, st, scale, true)
+		t.Rows = append(t.Rows, []string{
+			st.Name(),
+			pct(metrics.FractionBelow(dPLT, 0)),
+			pct(metrics.FractionBelow(dSI, 0)),
+			fmt.Sprintf("%.1f", metrics.CDF(dPLT)[len(dPLT)/2].Value),
+			fmt.Sprintf("%.1f", metrics.CDF(dSI)[len(dSI)/2].Value),
+		})
+	}
+	return t
+}
+
+// PushByTypeAnalysis reproduces the Sec. 4.2.1 object-type study.
+func PushByTypeAnalysis(scale ExperimentScale) *Table {
+	sites := corpus.GenerateSet(corpus.RandomProfile(), scale.Sites, scale.Seed)
+	t := &Table{
+		Title:  "Sec 4.2.1: pushing specific object types (random-100)",
+		Header: []string{"type", "SI improved", "SI worse", "median dSI (ms)"},
+		Notes:  []string{"paper: images worsen SpeedIndex for 74% of sites; best-type helps only 24% (SI) / 20% (PLT)"},
+	}
+	types := []strategy.Strategy{
+		strategy.PushByType{Kinds: []page.Kind{page.KindCSS}},
+		strategy.PushByType{Kinds: []page.Kind{page.KindJS}},
+		strategy.PushByType{Kinds: []page.Kind{page.KindImage}},
+		strategy.PushByType{Kinds: []page.Kind{page.KindCSS, page.KindJS}},
+		strategy.PushByType{Kinds: []page.Kind{page.KindCSS, page.KindImage}},
+	}
+	perSiteBest := make([]float64, scale.Sites)
+	for i := range perSiteBest {
+		perSiteBest[i] = 1e18
+	}
+	for _, st := range types {
+		_, dSI := deltaVsNoPush(sites, st, scale, true)
+		for i, v := range dSI {
+			if v < perSiteBest[i] {
+				perSiteBest[i] = v
+			}
+		}
+		t.Rows = append(t.Rows, []string{
+			st.Name(),
+			pct(metrics.FractionBelow(dSI, 0)),
+			pct(1 - metrics.FractionBelow(dSI, 0)),
+			fmt.Sprintf("%.1f", metrics.CDF(dSI)[len(dSI)/2].Value),
+		})
+	}
+	// Best-type per site: how many sites improve even with their best
+	// single-type strategy (by a meaningful margin).
+	t.Rows = append(t.Rows, []string{
+		"best type per site",
+		pct(metrics.FractionBelow(perSiteBest, 0)),
+		pct(1 - metrics.FractionBelow(perSiteBest, 0)),
+		fmt.Sprintf("%.1f", metrics.CDF(perSiteBest)[len(perSiteBest)/2].Value),
+	})
+	return t
+}
+
+// --- Fig. 4: synthetic sites with custom strategies ---
+
+// Fig4Synthetic compares push-all and the custom (critical) strategy on
+// s1-s10, relative to no push, with 95% confidence intervals.
+func Fig4Synthetic(scale ExperimentScale) *Table {
+	t := &Table{
+		Title:  "Fig 4: custom strategies on synthetic sites s1-s10 (delta vs no push, avg of runs)",
+		Header: []string{"site", "strategy", "dPLT (ms)", "dSI (ms)", "95% CI (ms)", "KB pushed"},
+		Notes:  []string{"paper: custom pushes far fewer bytes for comparable gains (s1: 309KB vs 1057KB)"},
+	}
+	for _, site := range corpus.SyntheticSites() {
+		tb := NewTestbed()
+		tb.Runs = scale.Runs
+		baseEv := tb.EvaluateStrategy(site, strategy.NoPush{}, nil)
+		for _, st := range []strategy.Strategy{strategy.PushAll{}, strategy.PushCritical{}} {
+			ev := tb.EvaluateStrategy(site, st, nil)
+			t.Rows = append(t.Rows, []string{
+				site.Name, st.Name(),
+				fmt.Sprintf("%.0f", float64(ev.PLT.Mean()-baseEv.PLT.Mean())/1e6),
+				fmt.Sprintf("%.0f", float64(ev.SI.Mean()-baseEv.SI.Mean())/1e6),
+				ms(ev.SI.CI(0.95)),
+				fmt.Sprintf("%d", ev.BytesPushed/1024),
+			})
+		}
+	}
+	return t
+}
+
+// --- Fig. 5b: interleaving motivating example ---
+
+// Fig5Interleaving builds the paper's test page (CSS in head, body text
+// varied from 10 to 90 KB) and compares no push, plain push and
+// interleaving push.
+func Fig5Interleaving(runs int, seed int64) *Table {
+	t := &Table{
+		Title:  "Fig 5b: SpeedIndex vs HTML size for no push / push / interleaving",
+		Header: []string{"html KB", "no push SI (ms)", "push SI (ms)", "interleaving SI (ms)"},
+		Notes:  []string{"paper: no push and push grow with HTML size; interleaving stays flat and fastest"},
+	}
+	for kb := 10; kb <= 90; kb += 10 {
+		b := corpus.NewPage("fig5.test")
+		b.CSS("/style.css", corpus.SimpleCSS([]string{"hero", "body-text"}, 120))
+		b.Div("hero", 200)
+		b.Text(1200, "body-text")
+		if pad := kb*1024 - len(b.HTML()); pad > 0 {
+			b.PadHTML(pad)
+		}
+		site := b.Build(fmt.Sprintf("fig5-%dKB", kb))
+		base := site.Base.String()
+		cssURL := "https://fig5.test/style.css"
+
+		tb := NewTestbed()
+		tb.Runs = runs
+		tb.Seed = seed
+		noPushCfg := *tb
+		noPushCfg.Browser.EnablePush = false
+		evNo := noPushCfg.Evaluate(site, replay.NoPush(), "no push")
+		evPush := tb.Evaluate(site, replay.PushList(base, cssURL), "push")
+		evInt := tb.Evaluate(site, replay.PushList(base, cssURL).
+			WithInterleave(base, replay.InterleaveSpec{OffsetBytes: 4096, Critical: []string{cssURL}}),
+			"interleaving")
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(kb), ms(evNo.MedianSI), ms(evPush.MedianSI), ms(evInt.MedianSI),
+		})
+	}
+	return t
+}
+
+// --- Fig. 6: the six strategies on w1-w20 ---
+
+// PopularStrategies returns the Sec. 5 strategy set in paper order.
+func PopularStrategies() []strategy.Strategy {
+	return []strategy.Strategy{
+		strategy.NoPush{},
+		strategy.NoPushOptimized{},
+		strategy.PushAll{},
+		strategy.PushAllOptimized{},
+		strategy.PushCritical{},
+		strategy.PushCriticalOptimized{},
+	}
+}
+
+// Fig6Popular evaluates the six strategies on the modelled w1-w20 sites,
+// reporting average relative SpeedIndex change vs no push with 99.5%
+// confidence half-widths, plus pushed bytes.
+func Fig6Popular(ids []string, scale ExperimentScale) *Table {
+	if len(ids) == 0 {
+		ids = corpus.PopularSiteIDs()
+	}
+	t := &Table{
+		Title:  "Fig 6: strategies on modelled popular sites (relative SpeedIndex change vs no push)",
+		Header: []string{"site", "strategy", "dSI", "dPLT", "99.5% CI (ms)", "KB pushed"},
+		Notes: []string{
+			"paper: w1 -68.9% / w2 -29.7% / w16 -19.7% with push critical optimized;",
+			"w7/w8 limited by blocking JS, w9 favours push all, w10 image contention, w17 dilution",
+		},
+	}
+	for _, id := range ids {
+		site := corpus.PopularSite(id)
+		if site == nil {
+			continue
+		}
+		tb := NewTestbed()
+		tb.Runs = scale.Runs
+		tr := tb.Trace(site, minInt(5, scale.Runs))
+		baseEv := tb.EvaluateStrategy(site, strategy.NoPush{}, nil)
+		for _, st := range PopularStrategies() {
+			if _, ok := st.(strategy.NoPush); ok {
+				continue
+			}
+			ev := tb.EvaluateStrategy(site, st, tr)
+			dSI := metrics.RelChange(ev.SI.Mean(), baseEv.SI.Mean())
+			dPLT := metrics.RelChange(ev.PLT.Mean(), baseEv.PLT.Mean())
+			t.Rows = append(t.Rows, []string{
+				id, st.Name(),
+				pct(dSI), pct(dPLT),
+				ms(ev.SI.CI(0.995)),
+				fmt.Sprintf("%d", ev.BytesPushed/1024),
+			})
+		}
+	}
+	return t
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

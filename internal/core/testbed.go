@@ -1,0 +1,193 @@
+// Package core is the testbed of the paper: it wires the simulator, the
+// emulated DSL network, the per-IP replay servers and the browser model
+// into reproducible page loads, runs every configuration the evaluation
+// section needs (31 repetitions, testbed vs. "Internet" variability
+// modes, arbitrary push strategies), and implements the experiment
+// drivers that regenerate each figure and table.
+package core
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/browser"
+	"repro/internal/metrics"
+	"repro/internal/netem"
+	"repro/internal/replay"
+	"repro/internal/sim"
+	"repro/internal/strategy"
+)
+
+// Mode selects where the measurement notionally runs.
+type Mode int
+
+// Modes.
+const (
+	// ModeTestbed is the controlled environment: deterministic network,
+	// only small client-compute jitter (Sec. 4.1).
+	ModeTestbed Mode = iota
+	// ModeInternet adds run-to-run network variability, server think
+	// time and third-party content variability — the conditions Fig. 2a
+	// contrasts the testbed against.
+	ModeInternet
+)
+
+// Testbed runs page loads under controlled conditions.
+type Testbed struct {
+	Profile netem.Profile
+	Browser browser.Config
+	Runs    int
+	Seed    int64
+	Mode    Mode
+}
+
+// NewTestbed returns the paper's configuration: DSL link, 31 runs.
+func NewTestbed() *Testbed {
+	return &Testbed{
+		Profile: netem.DSL(),
+		Browser: browser.DefaultConfig(),
+		Runs:    31,
+		Seed:    1,
+	}
+}
+
+// RunResult couples the browser-side result with server-side stats.
+type RunResult struct {
+	*browser.Result
+	WireBytesPushed int64
+	WirePushCount   int
+}
+
+// RunOnce performs a single page load of site under plan.
+func (tb *Testbed) RunOnce(site *replay.Site, plan replay.Plan, run int) *RunResult {
+	seed := tb.Seed*1_000_003 + int64(run)*7919
+	s := sim.New(seed)
+	prof := tb.Profile
+	cfg := tb.Browser
+	runSite := site
+	if tb.Mode == ModeInternet {
+		jrng := rand.New(rand.NewSource(seed ^ 0x5eed))
+		prof.RTT = time.Duration(float64(prof.RTT) * (0.8 + jrng.Float64()*0.9))
+		prof.DownRate = netem.Rate(float64(prof.DownRate) * (0.6 + jrng.Float64()*0.5))
+		prof.UpRate = netem.Rate(float64(prof.UpRate) * (0.6 + jrng.Float64()*0.5))
+		prof.LossRate = 0.0005 + jrng.Float64()*0.002
+		cfg.JitterFrac = 0.10
+		runSite = scaleThirdParty(site, jrng)
+	}
+	n := netem.New(s, prof)
+	farm := replay.NewFarm(s, n, runSite, plan)
+	if tb.Mode == ModeInternet {
+		farm.ThinkTime = time.Duration(rand.New(rand.NewSource(seed^0x7417)).Intn(30)) * time.Millisecond
+	}
+	ld := browser.New(s, farm, cfg)
+	ld.Start()
+	s.Run()
+	return &RunResult{
+		Result:          ld.Result(),
+		WireBytesPushed: farm.BytesPushed,
+		WirePushCount:   farm.PushCount,
+	}
+}
+
+// scaleThirdParty models dynamic third-party content (ads rotating
+// between loads, Sec. 4): bodies on servers other than the base origin
+// are rescaled randomly per run.
+func scaleThirdParty(site *replay.Site, rng *rand.Rand) *replay.Site {
+	db := replay.NewDB()
+	for _, e := range site.DB.Entries() {
+		if site.Authoritative(site.Base.Authority, e.URL.Authority) {
+			db.Add(e)
+			continue
+		}
+		ne := *e
+		scale := 0.7 + rng.Float64()*0.8
+		n := int(float64(len(e.Body)) * scale)
+		if n < 16 {
+			n = 16
+		}
+		body := make([]byte, n)
+		copy(body, e.Body)
+		for i := len(e.Body); i < n; i++ {
+			body[i] = byte('x')
+		}
+		ne.Body = body
+		db.Add(&ne)
+	}
+	return &replay.Site{
+		Name: site.Name, Base: site.Base, DB: db,
+		IPByHost: site.IPByHost, SANsByIP: site.SANsByIP,
+	}
+}
+
+// Evaluation summarizes repeated runs of one (site, strategy) pair.
+type Evaluation struct {
+	Site     string
+	Strategy string
+
+	PLT metrics.Sample
+	SI  metrics.Sample
+
+	MedianPLT time.Duration
+	MedianSI  time.Duration
+
+	BytesPushed int64 // median over runs
+	Completed   int
+}
+
+// Evaluate runs site under plan tb.Runs times.
+func (tb *Testbed) Evaluate(site *replay.Site, plan replay.Plan, name string) *Evaluation {
+	ev := &Evaluation{Site: site.Name, Strategy: name}
+	var pushed []int64
+	for i := 0; i < tb.Runs; i++ {
+		r := tb.RunOnce(site, plan, i)
+		ev.PLT.Add(r.PLT)
+		ev.SI.Add(r.SpeedIndex)
+		pushed = append(pushed, r.WireBytesPushed)
+		if r.Completed {
+			ev.Completed++
+		}
+	}
+	ev.MedianPLT = ev.PLT.Median()
+	ev.MedianSI = ev.SI.Median()
+	if len(pushed) > 0 {
+		ev.BytesPushed = pushed[len(pushed)/2]
+	}
+	return ev
+}
+
+// EvaluateStrategy applies a strategy (site rewrite + plan) and runs it.
+func (tb *Testbed) EvaluateStrategy(site *replay.Site, st strategy.Strategy, tr *strategy.Trace) *Evaluation {
+	runSite, plan := st.Apply(site, tr)
+	cfg := tb.Browser
+	defer func() { tb.Browser = cfg }()
+	if _, isNoPush := st.(strategy.NoPush); isNoPush {
+		tb.Browser.EnablePush = false
+	}
+	if _, isNoPushOpt := st.(strategy.NoPushOptimized); isNoPushOpt {
+		tb.Browser.EnablePush = false
+	}
+	return tb.Evaluate(runSite, plan, st.Name())
+}
+
+// Trace performs the paper's dependency-tracing step (Sec. 4.2): load
+// the site without push `runs` times and record the subresource request
+// orders for the majority vote.
+func (tb *Testbed) Trace(site *replay.Site, runs int) *strategy.Trace {
+	saved := tb.Browser.EnablePush
+	tb.Browser.EnablePush = false
+	defer func() { tb.Browser.EnablePush = saved }()
+	tr := &strategy.Trace{}
+	base := site.Base.String()
+	for i := 0; i < runs; i++ {
+		r := tb.RunOnce(site, replay.NoPush(), 1000+i)
+		var order []string
+		for _, t := range r.Timings {
+			if t.URL == base || t.Pushed {
+				continue
+			}
+			order = append(order, t.URL)
+		}
+		tr.Orders = append(tr.Orders, order)
+	}
+	return tr
+}

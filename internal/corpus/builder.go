@@ -1,0 +1,250 @@
+// Package corpus synthesizes replayable websites: an explicit page
+// builder for hand-modelled sites (the paper's synthetic s1-s10 set and
+// the w1-w20 popular-site models), and a seeded random generator whose
+// distributions are calibrated to the paper's crawl observations (object
+// mixes, sizes, third-party shares, pushable fractions — Sec. 4.2).
+//
+// The generator emits real HTML and CSS bytes, so the whole pipeline —
+// preload scanning, dependency analysis, critical-CSS extraction,
+// interleave offsets — operates on genuine documents rather than
+// abstract object lists.
+package corpus
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/page"
+	"repro/internal/replay"
+)
+
+// PageBuilder assembles one HTML page plus its subresources into a
+// replayable Site.
+type PageBuilder struct {
+	host   string
+	scheme string
+	title  string
+
+	head, body strings.Builder
+	entries    []*replay.Entry
+	hostsUsed  map[string]bool
+
+	imgCount, cssCount, jsCount int
+}
+
+// NewPage starts a page on the given host, served at /.
+func NewPage(host string) *PageBuilder {
+	b := &PageBuilder{host: host, scheme: "https", title: host, hostsUsed: map[string]bool{host: true}}
+	return b
+}
+
+// Title sets the document title.
+func (b *PageBuilder) Title(t string) *PageBuilder { b.title = t; return b }
+
+func (b *PageBuilder) addEntry(host, path string, kind page.Kind, body []byte, meta page.Meta) string {
+	b.hostsUsed[host] = true
+	u := page.URL{Scheme: b.scheme, Authority: host, Path: path}
+	b.entries = append(b.entries, &replay.Entry{
+		URL: u, Status: 200, ContentType: page.ContentTypeFor(kind),
+		Body: body, Meta: meta,
+	})
+	return u.String()
+}
+
+// CSS adds a stylesheet link in <head> served from the base host.
+func (b *PageBuilder) CSS(path, css string) *PageBuilder {
+	return b.CSSOn(b.host, path, css, false)
+}
+
+// CSSOn adds a stylesheet on an arbitrary host; atBodyEnd places the link
+// at the end of <body> instead of <head>.
+func (b *PageBuilder) CSSOn(host, path, css string, atBodyEnd bool) *PageBuilder {
+	b.cssCount++
+	b.addEntry(host, path, page.KindCSS, []byte(css), page.Meta{})
+	link := fmt.Sprintf("<link rel=\"stylesheet\" href=\"%s\">\n", b.absRef(host, path))
+	if atBodyEnd {
+		b.body.WriteString(link)
+	} else {
+		b.head.WriteString(link)
+	}
+	return b
+}
+
+// Script adds an external script of about sizeBytes with extra execution
+// cost execMS.
+func (b *PageBuilder) Script(path string, sizeBytes int, execMS float64, inHead, async bool) *PageBuilder {
+	return b.ScriptOn(b.host, path, sizeBytes, execMS, inHead, async)
+}
+
+// ScriptOn adds an external script hosted on host.
+func (b *PageBuilder) ScriptOn(host, path string, sizeBytes int, execMS float64, inHead, async bool) *PageBuilder {
+	b.jsCount++
+	b.addEntry(host, path, page.KindJS, jsFiller(sizeBytes), page.Meta{ExecMS: execMS})
+	attr := ""
+	if async {
+		attr = " async"
+	}
+	tag := fmt.Sprintf("<script src=\"%s\"%s></script>\n", b.absRef(host, path), attr)
+	if inHead {
+		b.head.WriteString(tag)
+	} else {
+		b.body.WriteString(tag)
+	}
+	return b
+}
+
+// InlineScript embeds a script of about sizeBytes directly in the body.
+func (b *PageBuilder) InlineScript(sizeBytes int, inHead bool) *PageBuilder {
+	code := string(jsFiller(sizeBytes))
+	tag := "<script>" + code + "</script>\n"
+	if inHead {
+		b.head.WriteString(tag)
+	} else {
+		b.body.WriteString(tag)
+	}
+	return b
+}
+
+// Image adds an <img> with explicit dimensions; sizeBytes is the payload.
+func (b *PageBuilder) Image(path string, w, h, sizeBytes int) *PageBuilder {
+	return b.ImageOn(b.host, path, w, h, sizeBytes)
+}
+
+// ImageOn adds an image hosted on host.
+func (b *PageBuilder) ImageOn(host, path string, w, h, sizeBytes int) *PageBuilder {
+	b.imgCount++
+	b.addEntry(host, path, page.KindImage, filler(sizeBytes), page.Meta{Width: w, Height: h})
+	fmt.Fprintf(&b.body, "<img src=\"%s\" width=\"%d\" height=\"%d\">\n", b.absRef(host, path), w, h)
+	return b
+}
+
+// Font registers a webfont file (referenced from CSS via @font-face).
+func (b *PageBuilder) Font(path string, sizeBytes int) string {
+	return b.addEntry(b.host, path, page.KindFont, filler(sizeBytes), page.Meta{})
+}
+
+// Text appends a text block with the given classes (class "wf-Family"
+// requires the webfont Family before the text paints).
+func (b *PageBuilder) Text(chars int, classes ...string) *PageBuilder {
+	cls := ""
+	if len(classes) > 0 {
+		cls = fmt.Sprintf(" class=\"%s\"", strings.Join(classes, " "))
+	}
+	fmt.Fprintf(&b.body, "<p%s>%s</p>\n", cls, textFiller(chars))
+	return b
+}
+
+// Div opens and closes a div with text content.
+func (b *PageBuilder) Div(class string, chars int) *PageBuilder {
+	fmt.Fprintf(&b.body, "<div class=\"%s\">%s</div>\n", class, textFiller(chars))
+	return b
+}
+
+// RawBody appends raw markup to the body (padding, custom structures).
+func (b *PageBuilder) RawBody(s string) *PageBuilder { b.body.WriteString(s); return b }
+
+// RawHead appends raw markup to the head.
+func (b *PageBuilder) RawHead(s string) *PageBuilder { b.head.WriteString(s); return b }
+
+// PadHTML grows the document by adding comment filler to the body.
+func (b *PageBuilder) PadHTML(bytes int) *PageBuilder {
+	b.body.WriteString("<!-- ")
+	b.body.Write(filler(bytes))
+	b.body.WriteString(" -->\n")
+	return b
+}
+
+func (b *PageBuilder) absRef(host, path string) string {
+	if host == b.host {
+		return path
+	}
+	return fmt.Sprintf("%s://%s%s", b.scheme, host, path)
+}
+
+// HTML renders the document bytes as they would be served.
+func (b *PageBuilder) HTML() []byte {
+	var out strings.Builder
+	out.WriteString("<!DOCTYPE html>\n<html>\n<head>\n")
+	fmt.Fprintf(&out, "<title>%s</title>\n", b.title)
+	out.WriteString(b.head.String())
+	out.WriteString("</head>\n<body>\n")
+	out.WriteString(b.body.String())
+	out.WriteString("</body>\n</html>\n")
+	return []byte(out.String())
+}
+
+// Build assembles the Site. The base document is added last so builder
+// mutations up to this point are reflected.
+func (b *PageBuilder) Build(name string) *replay.Site {
+	db := replay.NewDB()
+	base := page.URL{Scheme: b.scheme, Authority: b.host, Path: "/"}
+	db.Add(&replay.Entry{
+		URL: base, Status: 200,
+		ContentType: page.ContentTypeFor(page.KindHTML),
+		Body:        b.HTML(),
+	})
+	for _, e := range b.entries {
+		db.Add(e)
+	}
+	return replay.NewSite(name, base, db)
+}
+
+// --- content synthesis ---
+
+// filler produces deterministic compressible payload bytes.
+func filler(n int) []byte {
+	if n <= 0 {
+		return nil
+	}
+	const chunk = "abcdefghijklmnopqrstuvwxyz0123456789ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = chunk[i%len(chunk)]
+	}
+	return out
+}
+
+// jsFiller produces syntactically plausible JS of about n bytes.
+func jsFiller(n int) []byte {
+	var sb strings.Builder
+	i := 0
+	for sb.Len() < n {
+		fmt.Fprintf(&sb, "function f%d(x){return x*%d+1;}\n", i, i)
+		i++
+	}
+	out := sb.String()
+	if len(out) > n {
+		out = out[:n]
+	}
+	return []byte(out)
+}
+
+// textFiller produces n characters of word-like text.
+func textFiller(n int) string {
+	const words = "lorem ipsum dolor sit amet consectetur adipiscing elit sed do eiusmod tempor incididunt ut labore "
+	var sb strings.Builder
+	for sb.Len() < n {
+		sb.WriteString(words)
+	}
+	return sb.String()[:n]
+}
+
+// SimpleCSS generates a stylesheet with rules for the given class names
+// plus optional bloat rules that match nothing on the page.
+func SimpleCSS(classes []string, bloatRules int) string {
+	var sb strings.Builder
+	for i, c := range classes {
+		fmt.Fprintf(&sb, ".%s{color:#%06x;margin:%dpx;padding:4px;display:block;}\n", c, i*1234+0x333333, i%16)
+	}
+	for i := 0; i < bloatRules; i++ {
+		fmt.Fprintf(&sb, ".unused-%d .deep-%d>.child-%d{background:#%06x;border:1px solid #ccc;transform:translate(%dpx,%dpx);}\n",
+			i, i, i, i*777+0x111111, i%7, i%11)
+	}
+	return sb.String()
+}
+
+// FontFaceCSS returns an @font-face rule for family served at url.
+func FontFaceCSS(family, url string) string {
+	return fmt.Sprintf("@font-face{font-family:\"%s\";src:url(%s) format(\"woff2\");}\n.wf-%s{font-family:\"%s\";}\n",
+		family, url, family, family)
+}

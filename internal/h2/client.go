@@ -1,0 +1,145 @@
+package h2
+
+import (
+	"strconv"
+
+	"repro/internal/hpack"
+)
+
+// Response is the client's view of response headers.
+type Response struct {
+	Status int
+	Header []hpack.HeaderField
+}
+
+// ClientStream is the client's handle on one request or pushed stream.
+type ClientStream struct {
+	Client *Client
+	St     *Stream
+	Req    Request
+	// Pushed is true for server-initiated streams.
+	Pushed bool
+
+	// Callbacks; all optional. OnData receives each body chunk. OnComplete
+	// fires when the response (headers+body) finished, with the total
+	// body length.
+	OnResponse func(resp Response)
+	OnData     func(chunk []byte)
+	OnComplete func(totalBody int)
+
+	resp     Response
+	gotResp  bool
+	bodyLen  int
+	complete bool
+}
+
+// BodyLen returns body bytes received so far.
+func (cs *ClientStream) BodyLen() int { return cs.bodyLen }
+
+// Completed reports whether the response has fully arrived.
+func (cs *ClientStream) Completed() bool { return cs.complete }
+
+// Cancel resets the stream (e.g. rejecting an unwanted push).
+func (cs *ClientStream) Cancel() { cs.St.Reset(ErrCodeCancel) }
+
+// Client wraps a client-side Core with request and push-handling helpers.
+type Client struct {
+	Core *Core
+	// OnPush decides whether to accept a pushed stream; returning false
+	// cancels it with RST_STREAM(CANCEL). When accepting, the callback
+	// may install OnResponse/OnData/OnComplete on the promised stream.
+	// A nil OnPush accepts all pushes.
+	OnPush func(parent *ClientStream, promised *ClientStream) (accept bool)
+}
+
+// NewClient builds a client connection with the given local settings.
+// Setting local.EnablePush=false reproduces the paper's "no push"
+// baseline: the server is told not to push at connection startup.
+func NewClient(local Settings) *Client {
+	c := &Client{Core: NewCore(false, local)}
+	c.Core.OnHeaders = func(st *Stream, fields []hpack.HeaderField, endStream bool) {
+		cs, _ := st.User.(*ClientStream)
+		if cs == nil {
+			return
+		}
+		status := 0
+		var hdr []hpack.HeaderField
+		for _, f := range fields {
+			if f.Name == ":status" {
+				status, _ = strconv.Atoi(f.Value)
+			} else {
+				hdr = append(hdr, f)
+			}
+		}
+		cs.resp = Response{Status: status, Header: hdr}
+		cs.gotResp = true
+		if cs.OnResponse != nil {
+			cs.OnResponse(cs.resp)
+		}
+		if endStream {
+			cs.finish()
+		}
+	}
+	c.Core.OnData = func(st *Stream, data []byte, endStream bool) {
+		cs, _ := st.User.(*ClientStream)
+		if cs == nil {
+			return
+		}
+		cs.bodyLen += len(data)
+		if cs.OnData != nil {
+			cs.OnData(data)
+		}
+		if endStream {
+			cs.finish()
+		}
+	}
+	c.Core.OnPushPromise = func(parent, promised *Stream, fields []hpack.HeaderField) {
+		pcs, _ := parent.User.(*ClientStream)
+		req, err := ParseRequest(fields)
+		if err != nil {
+			promised.Reset(ErrCodeProtocol)
+			return
+		}
+		cs := &ClientStream{Client: c, St: promised, Req: req, Pushed: true}
+		promised.User = cs
+		if c.OnPush != nil && !c.OnPush(pcs, cs) {
+			cs.Cancel()
+		}
+	}
+	return c
+}
+
+func (cs *ClientStream) finish() {
+	if cs.complete {
+		return
+	}
+	cs.complete = true
+	if cs.OnComplete != nil {
+		cs.OnComplete(cs.bodyLen)
+	}
+}
+
+// RequestOpts configures a client request.
+type RequestOpts struct {
+	// Priority, when non-nil, is sent with the HEADERS frame and shapes
+	// the server's scheduling (Chromium builds exclusive chains here).
+	Priority   *PriorityParam
+	OnResponse func(resp Response)
+	OnData     func(chunk []byte)
+	OnComplete func(totalBody int)
+}
+
+// Request issues a GET-style request (no body).
+func (c *Client) Request(req Request, opts RequestOpts) *ClientStream {
+	st := c.Core.StartRequest(req.Fields(), opts.Priority)
+	cs := &ClientStream{
+		Client:     c,
+		St:         st,
+		Req:        req,
+		OnResponse: opts.OnResponse,
+		OnData:     opts.OnData,
+		OnComplete: opts.OnComplete,
+	}
+	st.User = cs
+	return cs
+}

@@ -1,0 +1,900 @@
+package h2
+
+import (
+	"fmt"
+
+	"repro/internal/hpack"
+)
+
+// Settings is a decoded view of the SETTINGS parameters relevant to the
+// testbed.
+type Settings struct {
+	HeaderTableSize      uint32
+	EnablePush           bool
+	MaxConcurrentStreams uint32 // 0 = unlimited
+	InitialWindowSize    uint32
+	MaxFrameSize         uint32
+}
+
+// DefaultSettings returns the RFC 7540 defaults.
+func DefaultSettings() Settings {
+	return Settings{
+		HeaderTableSize:   hpack.DefaultDynamicTableSize,
+		EnablePush:        true,
+		InitialWindowSize: DefaultInitialWindow,
+		MaxFrameSize:      DefaultMaxFrameSize,
+	}
+}
+
+func (s Settings) frame() *SettingsFrame {
+	push := uint32(0)
+	if s.EnablePush {
+		push = 1
+	}
+	f := &SettingsFrame{Params: []Setting{
+		{SettingHeaderTableSize, s.HeaderTableSize},
+		{SettingEnablePush, push},
+		{SettingInitialWindowSize, s.InitialWindowSize},
+		{SettingMaxFrameSize, s.MaxFrameSize},
+	}}
+	if s.MaxConcurrentStreams > 0 {
+		f.Params = append(f.Params, Setting{SettingMaxConcurrentStreams, s.MaxConcurrentStreams})
+	}
+	return f
+}
+
+// StreamState is the RFC 7540 Section 5.1 stream lifecycle state.
+type StreamState int
+
+// Stream states.
+const (
+	StateIdle StreamState = iota
+	StateReservedLocal
+	StateReservedRemote
+	StateOpen
+	StateHalfClosedLocal
+	StateHalfClosedRemote
+	StateClosed
+)
+
+var stateNames = [...]string{"idle", "reserved-local", "reserved-remote",
+	"open", "half-closed-local", "half-closed-remote", "closed"}
+
+func (s StreamState) String() string { return stateNames[s] }
+
+// Stream is one HTTP/2 stream on a Core connection.
+type Stream struct {
+	ID   uint32
+	core *Core
+
+	State StreamState
+
+	// sending side
+	sendWindow  int64
+	outBuf      []byte
+	outClosed   bool // END_STREAM once outBuf drains
+	sentBody    int  // body bytes framed so far
+	pauseAt     int  // pause output at this body offset; -1 = no pause
+	resumeOn    map[uint32]bool
+	headersSent bool
+
+	// receiving side
+	recvWindow int64
+	recvdBody  int
+
+	// IsPush marks server-initiated streams.
+	IsPush bool
+	// PushParent is the stream whose response triggered this push.
+	PushParent uint32
+
+	// User is free for the embedding layer (request context etc.).
+	User any
+}
+
+// SentBodyBytes returns the number of body bytes framed so far.
+func (st *Stream) SentBodyBytes() int { return st.sentBody }
+
+// RecvdBodyBytes returns body bytes received so far.
+func (st *Stream) RecvdBodyBytes() int { return st.recvdBody }
+
+// QueueData appends body bytes for transmission, scheduled by the tree.
+func (st *Stream) QueueData(b []byte) {
+	st.outBuf = append(st.outBuf, b...)
+	st.core.wake()
+}
+
+// CloseOut marks the sending side finished: END_STREAM is set on the
+// final DATA frame (or an empty one).
+func (st *Stream) CloseOut() {
+	st.outClosed = true
+	st.core.wake()
+}
+
+// PauseOutputAt pauses the stream's output once off body bytes have been
+// framed. This is the interleaving hook: while paused, the scheduler
+// serves other sendable streams (e.g. pushed children).
+func (st *Stream) PauseOutputAt(off int) {
+	st.pauseAt = off
+	st.core.wake()
+}
+
+// ResumeAfter arms the pause gate to clear when all listed streams have
+// finished sending. An empty list resumes immediately.
+func (st *Stream) ResumeAfter(ids []uint32) {
+	if len(ids) == 0 {
+		st.Resume()
+		return
+	}
+	st.resumeOn = make(map[uint32]bool, len(ids))
+	for _, id := range ids {
+		st.resumeOn[id] = true
+	}
+}
+
+// Resume clears any pause gate.
+func (st *Stream) Resume() {
+	st.pauseAt = -1
+	st.resumeOn = nil
+	st.core.wake()
+}
+
+// Paused reports whether output is currently gated.
+func (st *Stream) Paused() bool {
+	return st.pauseAt >= 0 && st.sentBody >= st.pauseAt
+}
+
+// Reset queues an RST_STREAM and closes the stream locally.
+func (st *Stream) Reset(code ErrCode) {
+	if st.State == StateClosed {
+		return
+	}
+	st.core.queueCtrl(&RSTStreamFrame{StreamID: st.ID, Code: code})
+	st.core.closeStream(st)
+}
+
+// Core is a transport-agnostic HTTP/2 connection state machine. The
+// embedding transport feeds received bytes via Recv and drains outgoing
+// bytes via PopWrite; all protocol callbacks fire synchronously inside
+// those calls.
+type Core struct {
+	IsServer bool
+
+	henc *hpack.Encoder
+	hdec *hpack.Decoder
+	fr   FrameReader
+
+	streams      map[uint32]*Stream
+	nextLocalID  uint32
+	lastPeerID   uint32
+	local, peer  Settings
+	settingsRecv bool
+
+	sendWindow int64 // connection-level credit for sending
+	recvWindow int64
+
+	Tree *PriorityTree
+
+	// PushAtRoot, when true, attaches pushed streams at the tree root
+	// instead of as children of their parent stream (an ablation of the
+	// h2o default).
+	PushAtRoot bool
+
+	ctrl       [][]byte // encoded control frames, FIFO
+	started    bool
+	goingAway  bool
+	prefaceGot int // client preface bytes consumed (server side)
+
+	// continuation reassembly state
+	cont *contState
+
+	// Callbacks. All may be nil.
+	OnHeaders     func(st *Stream, fields []hpack.HeaderField, endStream bool)
+	OnData        func(st *Stream, data []byte, endStream bool)
+	OnPushPromise func(parent, promised *Stream, fields []hpack.HeaderField)
+	OnRST         func(st *Stream, code ErrCode)
+	OnSettings    func(s Settings)
+	OnGoAway      func(f *GoAwayFrame)
+	OnConnError   func(err ConnError)
+	OnStreamSent  func(st *Stream) // local side finished sending st
+	OnWritable    func()           // data became available to send
+
+	// stats
+	FramesSent, FramesRecvd int64
+	DataBytesSent           int64
+	PushesSent, PushesRecvd int64
+}
+
+type contState struct {
+	streamID   uint32
+	isPush     bool
+	promisedID uint32
+	endStream  bool
+	prio       *PriorityParam
+	buf        []byte
+}
+
+// NewCore builds a connection core. local describes our advertised
+// settings.
+func NewCore(isServer bool, local Settings) *Core {
+	c := &Core{
+		IsServer: isServer,
+		henc:     hpack.NewEncoder(),
+		hdec:     hpack.NewDecoder(),
+		streams:  make(map[uint32]*Stream),
+		local:    local,
+		peer:     DefaultSettings(),
+		// Connection-level windows always start at 65535 (RFC 7540
+		// 6.9.2); SETTINGS_INITIAL_WINDOW_SIZE affects stream windows only.
+		sendWindow: DefaultInitialWindow,
+		recvWindow: DefaultInitialWindow,
+		Tree:       NewPriorityTree(),
+	}
+	c.hdec.SetAllowedMaxDynamicTableSize(local.HeaderTableSize)
+	if isServer {
+		c.nextLocalID = 2
+	} else {
+		c.nextLocalID = 1
+	}
+	return c
+}
+
+// Start queues the connection preface (clients) and initial SETTINGS.
+func (c *Core) Start() {
+	if c.started {
+		return
+	}
+	c.started = true
+	if !c.IsServer {
+		c.ctrl = append(c.ctrl, []byte(ClientPreface))
+	}
+	c.queueCtrl(c.local.frame())
+	// Enlarge the connection receive window beyond the 64 KB default, as
+	// browsers do, so connection flow control never throttles the testbed
+	// unless configured to.
+	if extra := int64(c.local.InitialWindowSize) * 4; extra > 0 {
+		c.recvWindow += extra
+		c.queueCtrl(&WindowUpdateFrame{StreamID: 0, Increment: uint32(extra)})
+	}
+	c.wake()
+}
+
+// PeerSettings returns the last SETTINGS received from the peer.
+func (c *Core) PeerSettings() Settings { return c.peer }
+
+// LocalSettings returns our advertised settings.
+func (c *Core) LocalSettings() Settings { return c.local }
+
+// Stream returns the stream with the given id, or nil.
+func (c *Core) Stream(id uint32) *Stream { return c.streams[id] }
+
+// NumStreams returns the number of non-closed streams.
+func (c *Core) NumStreams() int { return len(c.streams) }
+
+func (c *Core) wake() {
+	if c.OnWritable != nil {
+		c.OnWritable()
+	}
+}
+
+func (c *Core) queueCtrl(f Frame) {
+	c.ctrl = append(c.ctrl, AppendFrame(nil, f))
+	c.wake()
+}
+
+func (c *Core) connError(code ErrCode, msg string) {
+	if c.goingAway {
+		return
+	}
+	c.goingAway = true
+	err := ConnError{code, msg}
+	c.queueCtrl(&GoAwayFrame{LastStreamID: c.lastPeerID, Code: code, Debug: []byte(msg)})
+	if c.OnConnError != nil {
+		c.OnConnError(err)
+	}
+}
+
+func (c *Core) newStream(id uint32, state StreamState) *Stream {
+	st := &Stream{
+		ID:         id,
+		core:       c,
+		State:      state,
+		sendWindow: int64(c.peer.InitialWindowSize),
+		recvWindow: int64(c.local.InitialWindowSize),
+		pauseAt:    -1,
+	}
+	c.streams[id] = st
+	c.Tree.Bind(st)
+	return st
+}
+
+func (c *Core) closeStream(st *Stream) {
+	if st.State == StateClosed {
+		return
+	}
+	st.State = StateClosed
+	st.outBuf = nil
+	delete(c.streams, st.ID)
+	c.Tree.Remove(st.ID)
+}
+
+// --- client-side API ---
+
+// StartRequest opens a new client stream carrying a request without a
+// body. prio, when non-nil, is sent as the HEADERS priority block.
+func (c *Core) StartRequest(fields []hpack.HeaderField, prio *PriorityParam) *Stream {
+	if c.IsServer {
+		panic("h2: StartRequest on server core")
+	}
+	id := c.nextLocalID
+	c.nextLocalID += 2
+	st := c.newStream(id, StateHalfClosedLocal) // GET: we send END_STREAM
+	block := c.henc.EncodeBlock(fields)
+	hf := &HeadersFrame{
+		StreamID:   id,
+		EndStream:  true,
+		EndHeaders: true,
+	}
+	if prio != nil {
+		hf.HasPriority = true
+		hf.Priority = *prio
+		c.Tree.Update(id, *prio)
+	}
+	c.queueHeaderBlock(hf, block)
+	st.headersSent = true
+	return st
+}
+
+// queueHeaderBlock splits an oversize header block into CONTINUATIONs.
+func (c *Core) queueHeaderBlock(hf *HeadersFrame, block []byte) {
+	maxFS := int(c.peer.MaxFrameSize)
+	overhead := 0
+	if hf.HasPriority {
+		overhead = 5
+	}
+	if len(block)+overhead <= maxFS {
+		hf.Block = block
+		hf.EndHeaders = true
+		c.queueCtrl(hf)
+		return
+	}
+	first := maxFS - overhead
+	hf.Block = block[:first]
+	hf.EndHeaders = false
+	c.queueCtrl(hf)
+	block = block[first:]
+	for len(block) > 0 {
+		n := maxFS
+		if n > len(block) {
+			n = len(block)
+		}
+		c.queueCtrl(&ContinuationFrame{
+			StreamID:   hf.StreamID,
+			Block:      block[:n],
+			EndHeaders: n == len(block),
+		})
+		block = block[n:]
+	}
+}
+
+// SendPriority queues a PRIORITY frame and updates the local tree.
+func (c *Core) SendPriority(id uint32, p PriorityParam) {
+	c.Tree.Update(id, p)
+	c.queueCtrl(&PriorityFrame{StreamID: id, Priority: p})
+}
+
+// --- server-side API ---
+
+// SendResponseHeaders queues the response HEADERS for st.
+func (c *Core) SendResponseHeaders(st *Stream, fields []hpack.HeaderField, endStream bool) {
+	block := c.henc.EncodeBlock(fields)
+	hf := &HeadersFrame{StreamID: st.ID, EndStream: endStream}
+	c.queueHeaderBlock(hf, block)
+	st.headersSent = true
+	if endStream {
+		st.outClosed = true
+		c.finishOut(st)
+	}
+	switch st.State {
+	case StateReservedLocal:
+		st.State = StateHalfClosedRemote
+	}
+}
+
+// Push reserves a promised stream answering reqFields, announced on
+// parent. It returns nil when the peer disabled push.
+func (c *Core) Push(parent *Stream, reqFields []hpack.HeaderField) *Stream {
+	if !c.IsServer {
+		panic("h2: Push on client core")
+	}
+	if !c.peer.EnablePush {
+		return nil
+	}
+	id := c.nextLocalID
+	c.nextLocalID += 2
+	st := c.newStream(id, StateReservedLocal)
+	st.IsPush = true
+	st.PushParent = parent.ID
+	// h2o default: the pushed stream depends on the stream that triggered
+	// it with default weight, so it is starved until the parent finishes.
+	// Ablation: attach at the root with a CSS-class weight, letting the
+	// push compete with the parent immediately.
+	parentID := parent.ID
+	weight := uint8(DefaultWeight)
+	if c.PushAtRoot {
+		parentID = 0
+		weight = 219
+	}
+	c.Tree.Update(id, PriorityParam{ParentID: parentID, Weight: weight})
+	block := c.henc.EncodeBlock(reqFields)
+	c.queueCtrl(&PushPromiseFrame{
+		StreamID:   parent.ID,
+		PromisedID: id,
+		Block:      block,
+		EndHeaders: true,
+	})
+	c.PushesSent++
+	return st
+}
+
+// --- receive path ---
+
+// Recv feeds transport bytes into the connection.
+func (c *Core) Recv(b []byte) {
+	if c.goingAway {
+		return
+	}
+	if c.IsServer && !c.prefaceStripped() {
+		b = c.stripPreface(b)
+		if b == nil {
+			return
+		}
+	}
+	c.fr.Feed(b)
+	for {
+		f, err := c.fr.Next()
+		if err != nil {
+			if ce, ok := err.(ConnError); ok {
+				c.connError(ce.Code, ce.Msg)
+			} else {
+				c.connError(ErrCodeProtocol, err.Error())
+			}
+			return
+		}
+		if f == nil {
+			return
+		}
+		c.FramesRecvd++
+		c.handleFrame(f)
+		if c.goingAway {
+			return
+		}
+	}
+}
+
+func (c *Core) prefaceStripped() bool { return c.prefaceGot >= len(ClientPreface) }
+
+func (c *Core) stripPreface(b []byte) []byte {
+	need := len(ClientPreface) - c.prefaceGot
+	n := len(b)
+	if n > need {
+		n = need
+	}
+	for i := 0; i < n; i++ {
+		if b[i] != ClientPreface[c.prefaceGot+i] {
+			c.connError(ErrCodeProtocol, "bad connection preface")
+			return nil
+		}
+	}
+	c.prefaceGot += n
+	if n == len(b) && c.prefaceGot < len(ClientPreface) {
+		return nil
+	}
+	return b[n:]
+}
+
+func (c *Core) handleFrame(f Frame) {
+	if c.cont != nil && f.Kind() != FrameContinuation {
+		c.connError(ErrCodeProtocol, "expected CONTINUATION")
+		return
+	}
+	switch f := f.(type) {
+	case *SettingsFrame:
+		c.handleSettings(f)
+	case *HeadersFrame:
+		c.handleHeaders(f)
+	case *ContinuationFrame:
+		c.handleContinuation(f)
+	case *DataFrame:
+		c.handleData(f)
+	case *PushPromiseFrame:
+		c.handlePushPromise(f)
+	case *PriorityFrame:
+		if f.StreamID == f.Priority.ParentID {
+			c.streamError(f.StreamID, ErrCodeProtocol)
+			return
+		}
+		c.Tree.Update(f.StreamID, f.Priority)
+	case *RSTStreamFrame:
+		if st := c.streams[f.StreamID]; st != nil {
+			if c.OnRST != nil {
+				c.OnRST(st, f.Code)
+			}
+			c.closeStream(st)
+		}
+	case *WindowUpdateFrame:
+		c.handleWindowUpdate(f)
+	case *PingFrame:
+		if !f.Ack {
+			c.queueCtrl(&PingFrame{Ack: true, Data: f.Data})
+		}
+	case *GoAwayFrame:
+		c.goingAway = true
+		if c.OnGoAway != nil {
+			c.OnGoAway(f)
+		}
+	}
+}
+
+func (c *Core) handleSettings(f *SettingsFrame) {
+	if f.Ack {
+		return
+	}
+	old := c.peer
+	for _, s := range f.Params {
+		switch s.ID {
+		case SettingHeaderTableSize:
+			c.peer.HeaderTableSize = s.Val
+			c.henc.SetMaxDynamicTableSize(s.Val)
+		case SettingEnablePush:
+			if s.Val > 1 {
+				c.connError(ErrCodeProtocol, "ENABLE_PUSH not 0/1")
+				return
+			}
+			c.peer.EnablePush = s.Val == 1
+		case SettingMaxConcurrentStreams:
+			c.peer.MaxConcurrentStreams = s.Val
+		case SettingInitialWindowSize:
+			if s.Val > maxWindow {
+				c.connError(ErrCodeFlowControl, "INITIAL_WINDOW_SIZE too large")
+				return
+			}
+			c.peer.InitialWindowSize = s.Val
+			// Adjust all stream send windows by the delta (RFC 6.9.2).
+			delta := int64(s.Val) - int64(old.InitialWindowSize)
+			for _, st := range c.streams {
+				st.sendWindow += delta
+			}
+		case SettingMaxFrameSize:
+			if s.Val < DefaultMaxFrameSize || s.Val > 1<<24-1 {
+				c.connError(ErrCodeProtocol, "bad MAX_FRAME_SIZE")
+				return
+			}
+			c.peer.MaxFrameSize = s.Val
+		}
+	}
+	c.settingsRecv = true
+	c.queueCtrl(&SettingsFrame{Ack: true})
+	if c.OnSettings != nil {
+		c.OnSettings(c.peer)
+	}
+	c.wake()
+}
+
+func (c *Core) handleHeaders(f *HeadersFrame) {
+	if f.HasPriority && f.Priority.ParentID == f.StreamID {
+		c.streamError(f.StreamID, ErrCodeProtocol)
+		return
+	}
+	if !f.EndHeaders {
+		var prio *PriorityParam
+		if f.HasPriority {
+			p := f.Priority
+			prio = &p
+		}
+		c.cont = &contState{
+			streamID:  f.StreamID,
+			endStream: f.EndStream,
+			prio:      prio,
+			buf:       append([]byte(nil), f.Block...),
+		}
+		return
+	}
+	var prio *PriorityParam
+	if f.HasPriority {
+		p := f.Priority
+		prio = &p
+	}
+	c.finishHeaders(f.StreamID, f.Block, f.EndStream, prio)
+}
+
+func (c *Core) handleContinuation(f *ContinuationFrame) {
+	if c.cont == nil || c.cont.streamID != f.StreamID {
+		c.connError(ErrCodeProtocol, "unexpected CONTINUATION")
+		return
+	}
+	c.cont.buf = append(c.cont.buf, f.Block...)
+	if !f.EndHeaders {
+		return
+	}
+	cs := c.cont
+	c.cont = nil
+	if cs.isPush {
+		c.finishPushPromise(cs.streamID, cs.promisedID, cs.buf)
+		return
+	}
+	c.finishHeaders(cs.streamID, cs.buf, cs.endStream, cs.prio)
+}
+
+func (c *Core) finishHeaders(streamID uint32, block []byte, endStream bool, prio *PriorityParam) {
+	fields, err := c.hdec.DecodeBlock(block)
+	if err != nil {
+		c.connError(ErrCodeCompression, err.Error())
+		return
+	}
+	st := c.streams[streamID]
+	if st == nil {
+		if c.IsServer {
+			// New request stream.
+			if streamID%2 == 0 || streamID <= c.lastPeerID {
+				c.connError(ErrCodeProtocol, fmt.Sprintf("bad client stream id %d", streamID))
+				return
+			}
+			c.lastPeerID = streamID
+			st = c.newStream(streamID, StateOpen)
+			if endStream {
+				st.State = StateHalfClosedRemote
+			}
+		} else {
+			// Response headers for an unknown stream: ignore (already reset).
+			return
+		}
+	} else if !c.IsServer {
+		switch st.State {
+		case StateReservedRemote:
+			st.State = StateHalfClosedLocal
+		}
+		if endStream {
+			c.peerClosed(st)
+		}
+	}
+	if prio != nil {
+		c.Tree.Update(streamID, *prio)
+	}
+	if c.OnHeaders != nil {
+		c.OnHeaders(st, fields, endStream)
+	}
+}
+
+func (c *Core) handlePushPromise(f *PushPromiseFrame) {
+	if c.IsServer {
+		c.connError(ErrCodeProtocol, "client sent PUSH_PROMISE")
+		return
+	}
+	if !c.local.EnablePush {
+		// We disabled push; a compliant server must not push. Treat as a
+		// connection error per RFC 7540 6.6.
+		c.connError(ErrCodeProtocol, "PUSH_PROMISE with push disabled")
+		return
+	}
+	if !f.EndHeaders {
+		c.cont = &contState{
+			streamID:   f.StreamID,
+			isPush:     true,
+			promisedID: f.PromisedID,
+			buf:        append([]byte(nil), f.Block...),
+		}
+		return
+	}
+	c.finishPushPromise(f.StreamID, f.PromisedID, f.Block)
+}
+
+func (c *Core) finishPushPromise(parentID, promisedID uint32, block []byte) {
+	fields, err := c.hdec.DecodeBlock(block)
+	if err != nil {
+		c.connError(ErrCodeCompression, err.Error())
+		return
+	}
+	parent := c.streams[parentID]
+	if parent == nil {
+		// Promise on a closed stream: reset the promised stream.
+		c.queueCtrl(&RSTStreamFrame{StreamID: promisedID, Code: ErrCodeRefusedStream})
+		return
+	}
+	if promisedID%2 != 0 {
+		c.connError(ErrCodeProtocol, "odd promised stream id")
+		return
+	}
+	st := c.newStream(promisedID, StateReservedRemote)
+	st.IsPush = true
+	st.PushParent = parentID
+	c.PushesRecvd++
+	if c.OnPushPromise != nil {
+		c.OnPushPromise(parent, st, fields)
+	}
+}
+
+func (c *Core) handleData(f *DataFrame) {
+	st := c.streams[f.StreamID]
+	n := int64(len(f.Data))
+	// Connection-level accounting happens regardless of stream state.
+	c.recvWindow -= n
+	if c.recvWindow < 0 {
+		c.connError(ErrCodeFlowControl, "connection flow control violated")
+		return
+	}
+	// Replenish the connection window at half occupancy.
+	if c.recvWindow < int64(c.local.InitialWindowSize)*2 {
+		inc := int64(c.local.InitialWindowSize) * 4
+		c.recvWindow += inc
+		c.queueCtrl(&WindowUpdateFrame{StreamID: 0, Increment: uint32(inc)})
+	}
+	if st == nil {
+		// Data for a reset/unknown stream: discard (count against conn
+		// window only).
+		return
+	}
+	st.recvWindow -= n
+	if st.recvWindow < 0 {
+		c.streamError(st.ID, ErrCodeFlowControl)
+		return
+	}
+	if st.recvWindow < int64(c.local.InitialWindowSize)/2 {
+		inc := int64(c.local.InitialWindowSize)
+		st.recvWindow += inc
+		c.queueCtrl(&WindowUpdateFrame{StreamID: st.ID, Increment: uint32(inc)})
+	}
+	st.recvdBody += int(n)
+	if f.EndStream {
+		c.peerClosed(st)
+	}
+	if c.OnData != nil {
+		c.OnData(st, f.Data, f.EndStream)
+	}
+}
+
+func (c *Core) peerClosed(st *Stream) {
+	switch st.State {
+	case StateOpen:
+		st.State = StateHalfClosedRemote
+	case StateHalfClosedLocal:
+		c.closeStream(st)
+	}
+}
+
+func (c *Core) handleWindowUpdate(f *WindowUpdateFrame) {
+	if f.StreamID == 0 {
+		c.sendWindow += int64(f.Increment)
+		if c.sendWindow > maxWindow {
+			c.connError(ErrCodeFlowControl, "connection window overflow")
+			return
+		}
+	} else if st := c.streams[f.StreamID]; st != nil {
+		st.sendWindow += int64(f.Increment)
+		if st.sendWindow > maxWindow {
+			c.streamError(st.ID, ErrCodeFlowControl)
+			return
+		}
+	}
+	c.wake()
+}
+
+func (c *Core) streamError(id uint32, code ErrCode) {
+	c.queueCtrl(&RSTStreamFrame{StreamID: id, Code: code})
+	if st := c.streams[id]; st != nil {
+		c.closeStream(st)
+	}
+}
+
+// --- send path ---
+
+// sendable reports whether st has DATA it is allowed to send now.
+func (c *Core) sendable(st *Stream) bool {
+	if st.State == StateClosed || st.State == StateReservedLocal || !st.headersSent {
+		return false
+	}
+	if c.sendWindow <= 0 || st.sendWindow <= 0 {
+		return false
+	}
+	if st.Paused() {
+		return false
+	}
+	if len(st.outBuf) > 0 {
+		return true
+	}
+	// A bare END_STREAM still needs to be sent.
+	return st.outClosed && !st.outDone()
+}
+
+func (st *Stream) outDone() bool {
+	switch st.State {
+	case StateHalfClosedLocal, StateClosed:
+		return true
+	}
+	return false
+}
+
+// HasPending reports whether PopWrite would produce bytes.
+func (c *Core) HasPending() bool {
+	if len(c.ctrl) > 0 {
+		return true
+	}
+	return c.Tree.Next(c.sendable) != nil
+}
+
+// PopWrite returns the next chunk of bytes to hand to the transport, at
+// most max bytes of control frames or a single DATA frame. It returns nil
+// when there is nothing to send. Control frames always precede DATA, so
+// PUSH_PROMISE and HEADERS cannot be overtaken by body bytes.
+func (c *Core) PopWrite(max int) []byte {
+	if len(c.ctrl) > 0 {
+		out := c.ctrl[0]
+		c.ctrl = c.ctrl[1:]
+		c.FramesSent++
+		return out
+	}
+	st := c.Tree.Next(c.sendable)
+	if st == nil {
+		return nil
+	}
+	n := len(st.outBuf)
+	if m := int(c.peer.MaxFrameSize); n > m {
+		n = m
+	}
+	if max > 0 && n > max {
+		n = max
+	}
+	if w := int(st.sendWindow); n > w {
+		n = w
+	}
+	if w := int(c.sendWindow); n > w {
+		n = w
+	}
+	// Respect a pause offset mid-buffer.
+	if st.pauseAt >= 0 {
+		remain := st.pauseAt - st.sentBody
+		if n > remain {
+			n = remain
+		}
+	}
+	if n < 0 {
+		n = 0
+	}
+	data := st.outBuf[:n]
+	st.outBuf = st.outBuf[n:]
+	st.sentBody += n
+	st.sendWindow -= int64(n)
+	c.sendWindow -= int64(n)
+	c.DataBytesSent += int64(n)
+	c.Tree.Charge(st.ID, n)
+	end := st.outClosed && len(st.outBuf) == 0 && !st.Paused()
+	f := &DataFrame{StreamID: st.ID, Data: data, EndStream: end}
+	out := AppendFrame(nil, f)
+	c.FramesSent++
+	if end {
+		c.finishOut(st)
+	}
+	return out
+}
+
+// finishOut handles local send completion: state transitions plus
+// releasing any interleave gates waiting on this stream.
+func (c *Core) finishOut(st *Stream) {
+	switch st.State {
+	case StateOpen:
+		st.State = StateHalfClosedLocal
+	case StateHalfClosedRemote:
+		c.closeStream(st)
+	}
+	if c.OnStreamSent != nil {
+		c.OnStreamSent(st)
+	}
+	// Clear resume gates referencing this stream.
+	for _, other := range c.streams {
+		if other.resumeOn != nil && other.resumeOn[st.ID] {
+			delete(other.resumeOn, st.ID)
+			if len(other.resumeOn) == 0 {
+				other.Resume()
+			}
+		}
+	}
+}

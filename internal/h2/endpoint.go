@@ -1,0 +1,37 @@
+package h2
+
+import "repro/internal/netem"
+
+// SimEndpoint drives a Core over a netem.End inside the discrete-event
+// simulator. Outgoing frames are produced lazily: a frame is pulled from
+// the scheduler only when the transport's send buffer has drained into
+// the congestion window, which gives the stream scheduler frame-granular
+// control over ordering — the property the interleaving scheduler relies
+// on (and how h2o behaves with small write buffers).
+type SimEndpoint struct {
+	Core *Core
+	End  *netem.End
+}
+
+// AttachSim wires core to a netem endpoint and starts the connection.
+func AttachSim(core *Core, end *netem.End) *SimEndpoint {
+	ep := &SimEndpoint{Core: core, End: end}
+	end.SetReceiver(core.Recv)
+	core.OnWritable = ep.pump
+	end.SetOnDrain(ep.pump)
+	core.Start()
+	ep.pump()
+	return ep
+}
+
+func (ep *SimEndpoint) pump() {
+	// Refill while the transport accepted everything so far; stop as soon
+	// as bytes sit in the app buffer (the congestion window is full).
+	for ep.End.Buffered() == 0 {
+		b := ep.Core.PopWrite(0)
+		if b == nil {
+			return
+		}
+		ep.End.Write(b)
+	}
+}

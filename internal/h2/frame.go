@@ -1,0 +1,571 @@
+// Package h2 is a from-scratch HTTP/2 (RFC 7540) implementation built for
+// the Server Push testbed: binary framing, HPACK header compression (via
+// internal/hpack), stream multiplexing, flow control, the RFC 7540
+// priority tree, and — the paper's mechanism — pluggable server stream
+// schedulers, including the default h2o-like scheduler (a pushed stream is
+// a child of the stream that triggered it) and the interleaving scheduler
+// that pauses the parent response after a byte offset to push critical
+// resources.
+//
+// The protocol core is transport-agnostic: it runs both inside the
+// discrete-event simulator (internal/netem) and over real net.Conn
+// transports (see real.go), which is how the frame codec and HPACK are
+// cross-validated.
+package h2
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// FrameType identifies an RFC 7540 frame type.
+type FrameType uint8
+
+// RFC 7540 Section 6 frame types.
+const (
+	FrameData         FrameType = 0x0
+	FrameHeaders      FrameType = 0x1
+	FramePriority     FrameType = 0x2
+	FrameRSTStream    FrameType = 0x3
+	FrameSettings     FrameType = 0x4
+	FramePushPromise  FrameType = 0x5
+	FramePing         FrameType = 0x6
+	FrameGoAway       FrameType = 0x7
+	FrameWindowUpdate FrameType = 0x8
+	FrameContinuation FrameType = 0x9
+)
+
+var frameNames = map[FrameType]string{
+	FrameData: "DATA", FrameHeaders: "HEADERS", FramePriority: "PRIORITY",
+	FrameRSTStream: "RST_STREAM", FrameSettings: "SETTINGS",
+	FramePushPromise: "PUSH_PROMISE", FramePing: "PING", FrameGoAway: "GOAWAY",
+	FrameWindowUpdate: "WINDOW_UPDATE", FrameContinuation: "CONTINUATION",
+}
+
+func (t FrameType) String() string {
+	if s, ok := frameNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("UNKNOWN(%#x)", uint8(t))
+}
+
+// Flags is the 8-bit frame flags field.
+type Flags uint8
+
+// Frame flags; meanings depend on frame type.
+const (
+	FlagEndStream  Flags = 0x1 // DATA, HEADERS
+	FlagAck        Flags = 0x1 // SETTINGS, PING
+	FlagEndHeaders Flags = 0x4 // HEADERS, PUSH_PROMISE, CONTINUATION
+	FlagPadded     Flags = 0x8 // DATA, HEADERS, PUSH_PROMISE
+	FlagPriority   Flags = 0x20
+)
+
+// Has reports whether all bits of f2 are set.
+func (f Flags) Has(f2 Flags) bool { return f&f2 == f2 }
+
+// ErrCode is an RFC 7540 Section 7 error code.
+type ErrCode uint32
+
+// Error codes.
+const (
+	ErrCodeNo                 ErrCode = 0x0
+	ErrCodeProtocol           ErrCode = 0x1
+	ErrCodeInternal           ErrCode = 0x2
+	ErrCodeFlowControl        ErrCode = 0x3
+	ErrCodeSettingsTimeout    ErrCode = 0x4
+	ErrCodeStreamClosed       ErrCode = 0x5
+	ErrCodeFrameSize          ErrCode = 0x6
+	ErrCodeRefusedStream      ErrCode = 0x7
+	ErrCodeCancel             ErrCode = 0x8
+	ErrCodeCompression        ErrCode = 0x9
+	ErrCodeConnect            ErrCode = 0xa
+	ErrCodeEnhanceYourCalm    ErrCode = 0xb
+	ErrCodeInadequateSecurity ErrCode = 0xc
+	ErrCodeHTTP11Required     ErrCode = 0xd
+)
+
+// SettingID identifies a SETTINGS parameter.
+type SettingID uint16
+
+// RFC 7540 Section 6.5.2 settings.
+const (
+	SettingHeaderTableSize      SettingID = 0x1
+	SettingEnablePush           SettingID = 0x2
+	SettingMaxConcurrentStreams SettingID = 0x3
+	SettingInitialWindowSize    SettingID = 0x4
+	SettingMaxFrameSize         SettingID = 0x5
+	SettingMaxHeaderListSize    SettingID = 0x6
+)
+
+// Setting is one SETTINGS parameter.
+type Setting struct {
+	ID  SettingID
+	Val uint32
+}
+
+// Protocol constants.
+const (
+	frameHeaderLen       = 9
+	DefaultMaxFrameSize  = 16384
+	DefaultInitialWindow = 65535
+	maxWindow            = 1<<31 - 1
+	// ClientPreface is the fixed connection preface sent by clients.
+	ClientPreface = "PRI * HTTP/2.0\r\n\r\nSM\r\n\r\n"
+)
+
+// PriorityParam is the stream dependency triple carried by HEADERS and
+// PRIORITY frames. Weight is the on-wire value; effective weight is
+// Weight+1 (1..256).
+type PriorityParam struct {
+	ParentID  uint32
+	Exclusive bool
+	Weight    uint8
+}
+
+// IsZero reports whether the parameter carries no information.
+func (p PriorityParam) IsZero() bool { return p == PriorityParam{} }
+
+// Frame is a decoded HTTP/2 frame.
+type Frame interface {
+	Kind() FrameType
+	Stream() uint32
+	// append serializes the frame (header + payload) onto dst.
+	append(dst []byte) []byte
+}
+
+func appendFrameHeader(dst []byte, length int, t FrameType, flags Flags, streamID uint32) []byte {
+	return append(dst,
+		byte(length>>16), byte(length>>8), byte(length),
+		byte(t), byte(flags),
+		byte(streamID>>24), byte(streamID>>16), byte(streamID>>8), byte(streamID))
+}
+
+// AppendFrame serializes f onto dst.
+func AppendFrame(dst []byte, f Frame) []byte { return f.append(dst) }
+
+// DataFrame carries request/response bodies.
+type DataFrame struct {
+	StreamID  uint32
+	Data      []byte
+	EndStream bool
+}
+
+func (f *DataFrame) Kind() FrameType { return FrameData }
+func (f *DataFrame) Stream() uint32  { return f.StreamID }
+func (f *DataFrame) append(dst []byte) []byte {
+	var fl Flags
+	if f.EndStream {
+		fl |= FlagEndStream
+	}
+	dst = appendFrameHeader(dst, len(f.Data), FrameData, fl, f.StreamID)
+	return append(dst, f.Data...)
+}
+
+// HeadersFrame opens a stream (requests) or carries a response header
+// block. The block must be a complete HPACK fragment; blocks larger than
+// the max frame size are split into CONTINUATIONs by the sender.
+type HeadersFrame struct {
+	StreamID    uint32
+	Block       []byte
+	EndStream   bool
+	EndHeaders  bool
+	HasPriority bool
+	Priority    PriorityParam
+}
+
+func (f *HeadersFrame) Kind() FrameType { return FrameHeaders }
+func (f *HeadersFrame) Stream() uint32  { return f.StreamID }
+func (f *HeadersFrame) append(dst []byte) []byte {
+	var fl Flags
+	if f.EndStream {
+		fl |= FlagEndStream
+	}
+	if f.EndHeaders {
+		fl |= FlagEndHeaders
+	}
+	length := len(f.Block)
+	if f.HasPriority {
+		fl |= FlagPriority
+		length += 5
+	}
+	dst = appendFrameHeader(dst, length, FrameHeaders, fl, f.StreamID)
+	if f.HasPriority {
+		dst = appendPriorityParam(dst, f.Priority)
+	}
+	return append(dst, f.Block...)
+}
+
+func appendPriorityParam(dst []byte, p PriorityParam) []byte {
+	v := p.ParentID & 0x7fffffff
+	if p.Exclusive {
+		v |= 1 << 31
+	}
+	var b [5]byte
+	binary.BigEndian.PutUint32(b[:4], v)
+	b[4] = p.Weight
+	return append(dst, b[:]...)
+}
+
+func parsePriorityParam(p []byte) PriorityParam {
+	v := binary.BigEndian.Uint32(p[:4])
+	return PriorityParam{
+		ParentID:  v & 0x7fffffff,
+		Exclusive: v&(1<<31) != 0,
+		Weight:    p[4],
+	}
+}
+
+// PriorityFrame reprioritizes a stream.
+type PriorityFrame struct {
+	StreamID uint32
+	Priority PriorityParam
+}
+
+func (f *PriorityFrame) Kind() FrameType { return FramePriority }
+func (f *PriorityFrame) Stream() uint32  { return f.StreamID }
+func (f *PriorityFrame) append(dst []byte) []byte {
+	dst = appendFrameHeader(dst, 5, FramePriority, 0, f.StreamID)
+	return appendPriorityParam(dst, f.Priority)
+}
+
+// RSTStreamFrame abruptly terminates a stream (e.g. a client cancelling an
+// unwanted push).
+type RSTStreamFrame struct {
+	StreamID uint32
+	Code     ErrCode
+}
+
+func (f *RSTStreamFrame) Kind() FrameType { return FrameRSTStream }
+func (f *RSTStreamFrame) Stream() uint32  { return f.StreamID }
+func (f *RSTStreamFrame) append(dst []byte) []byte {
+	dst = appendFrameHeader(dst, 4, FrameRSTStream, 0, f.StreamID)
+	return binary.BigEndian.AppendUint32(dst, uint32(f.Code))
+}
+
+// SettingsFrame exchanges connection configuration. SETTINGS_ENABLE_PUSH=0
+// is how a client disables Server Push entirely (the paper's "no push"
+// baseline).
+type SettingsFrame struct {
+	Ack    bool
+	Params []Setting
+}
+
+func (f *SettingsFrame) Kind() FrameType { return FrameSettings }
+func (f *SettingsFrame) Stream() uint32  { return 0 }
+func (f *SettingsFrame) append(dst []byte) []byte {
+	var fl Flags
+	if f.Ack {
+		fl |= FlagAck
+	}
+	dst = appendFrameHeader(dst, 6*len(f.Params), FrameSettings, fl, 0)
+	for _, s := range f.Params {
+		dst = binary.BigEndian.AppendUint16(dst, uint16(s.ID))
+		dst = binary.BigEndian.AppendUint32(dst, s.Val)
+	}
+	return dst
+}
+
+// Value returns the last value for id in the frame.
+func (f *SettingsFrame) Value(id SettingID) (uint32, bool) {
+	var v uint32
+	found := false
+	for _, s := range f.Params {
+		if s.ID == id {
+			v, found = s.Val, true
+		}
+	}
+	return v, found
+}
+
+// PushPromiseFrame announces a server-initiated stream: the promised
+// stream ID plus the synthetic request header block the push answers.
+type PushPromiseFrame struct {
+	StreamID   uint32 // associated (parent) stream
+	PromisedID uint32
+	Block      []byte
+	EndHeaders bool
+}
+
+func (f *PushPromiseFrame) Kind() FrameType { return FramePushPromise }
+func (f *PushPromiseFrame) Stream() uint32  { return f.StreamID }
+func (f *PushPromiseFrame) append(dst []byte) []byte {
+	var fl Flags
+	if f.EndHeaders {
+		fl |= FlagEndHeaders
+	}
+	dst = appendFrameHeader(dst, 4+len(f.Block), FramePushPromise, fl, f.StreamID)
+	dst = binary.BigEndian.AppendUint32(dst, f.PromisedID&0x7fffffff)
+	return append(dst, f.Block...)
+}
+
+// PingFrame measures liveness/RTT.
+type PingFrame struct {
+	Ack  bool
+	Data [8]byte
+}
+
+func (f *PingFrame) Kind() FrameType { return FramePing }
+func (f *PingFrame) Stream() uint32  { return 0 }
+func (f *PingFrame) append(dst []byte) []byte {
+	var fl Flags
+	if f.Ack {
+		fl |= FlagAck
+	}
+	dst = appendFrameHeader(dst, 8, FramePing, fl, 0)
+	return append(dst, f.Data[:]...)
+}
+
+// GoAwayFrame initiates connection shutdown.
+type GoAwayFrame struct {
+	LastStreamID uint32
+	Code         ErrCode
+	Debug        []byte
+}
+
+func (f *GoAwayFrame) Kind() FrameType { return FrameGoAway }
+func (f *GoAwayFrame) Stream() uint32  { return 0 }
+func (f *GoAwayFrame) append(dst []byte) []byte {
+	dst = appendFrameHeader(dst, 8+len(f.Debug), FrameGoAway, 0, 0)
+	dst = binary.BigEndian.AppendUint32(dst, f.LastStreamID&0x7fffffff)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(f.Code))
+	return append(dst, f.Debug...)
+}
+
+// WindowUpdateFrame grants flow-control credit (stream 0 = connection).
+type WindowUpdateFrame struct {
+	StreamID  uint32
+	Increment uint32
+}
+
+func (f *WindowUpdateFrame) Kind() FrameType { return FrameWindowUpdate }
+func (f *WindowUpdateFrame) Stream() uint32  { return f.StreamID }
+func (f *WindowUpdateFrame) append(dst []byte) []byte {
+	dst = appendFrameHeader(dst, 4, FrameWindowUpdate, 0, f.StreamID)
+	return binary.BigEndian.AppendUint32(dst, f.Increment&0x7fffffff)
+}
+
+// ContinuationFrame carries the remainder of an oversized header block.
+type ContinuationFrame struct {
+	StreamID   uint32
+	Block      []byte
+	EndHeaders bool
+}
+
+func (f *ContinuationFrame) Kind() FrameType { return FrameContinuation }
+func (f *ContinuationFrame) Stream() uint32  { return f.StreamID }
+func (f *ContinuationFrame) append(dst []byte) []byte {
+	var fl Flags
+	if f.EndHeaders {
+		fl |= FlagEndHeaders
+	}
+	dst = appendFrameHeader(dst, len(f.Block), FrameContinuation, fl, f.StreamID)
+	return append(dst, f.Block...)
+}
+
+// ConnError is a connection-level protocol error that must tear the
+// connection down with GOAWAY.
+type ConnError struct {
+	Code ErrCode
+	Msg  string
+}
+
+func (e ConnError) Error() string { return fmt.Sprintf("h2: connection error %d: %s", e.Code, e.Msg) }
+
+var errFrameTooLarge = errors.New("h2: frame exceeds max frame size")
+
+// FrameReader incrementally decodes frames from a byte stream. Feed
+// arbitrary chunks; Next returns complete frames.
+type FrameReader struct {
+	buf          []byte
+	MaxFrameSize int // zero means DefaultMaxFrameSize
+}
+
+// Feed appends transport bytes to the reader.
+func (r *FrameReader) Feed(b []byte) { r.buf = append(r.buf, b...) }
+
+// Buffered returns the number of undecoded bytes held.
+func (r *FrameReader) Buffered() int { return len(r.buf) }
+
+// Next decodes the next complete frame, returning nil when more bytes are
+// needed. Frames of unknown type are skipped, per RFC 7540 Section 4.1.
+func (r *FrameReader) Next() (Frame, error) {
+	for {
+		if len(r.buf) < frameHeaderLen {
+			return nil, nil
+		}
+		length := int(r.buf[0])<<16 | int(r.buf[1])<<8 | int(r.buf[2])
+		maxFS := r.MaxFrameSize
+		if maxFS == 0 {
+			maxFS = DefaultMaxFrameSize
+		}
+		if length > maxFS {
+			return nil, ConnError{ErrCodeFrameSize, errFrameTooLarge.Error()}
+		}
+		if len(r.buf) < frameHeaderLen+length {
+			return nil, nil
+		}
+		typ := FrameType(r.buf[3])
+		flags := Flags(r.buf[4])
+		streamID := binary.BigEndian.Uint32(r.buf[5:9]) & 0x7fffffff
+		payload := make([]byte, length)
+		copy(payload, r.buf[frameHeaderLen:frameHeaderLen+length])
+		r.buf = r.buf[frameHeaderLen+length:]
+		f, err := parseFrame(typ, flags, streamID, payload)
+		if err != nil {
+			return nil, err
+		}
+		if f == nil {
+			continue // unknown frame type: skip
+		}
+		return f, nil
+	}
+}
+
+func parseFrame(typ FrameType, flags Flags, streamID uint32, p []byte) (Frame, error) {
+	switch typ {
+	case FrameData:
+		if streamID == 0 {
+			return nil, ConnError{ErrCodeProtocol, "DATA on stream 0"}
+		}
+		if flags.Has(FlagPadded) {
+			if len(p) < 1 || int(p[0]) >= len(p) {
+				return nil, ConnError{ErrCodeProtocol, "bad DATA padding"}
+			}
+			p = p[1 : len(p)-int(p[0])]
+		}
+		return &DataFrame{StreamID: streamID, Data: p, EndStream: flags.Has(FlagEndStream)}, nil
+
+	case FrameHeaders:
+		if streamID == 0 {
+			return nil, ConnError{ErrCodeProtocol, "HEADERS on stream 0"}
+		}
+		f := &HeadersFrame{
+			StreamID:   streamID,
+			EndStream:  flags.Has(FlagEndStream),
+			EndHeaders: flags.Has(FlagEndHeaders),
+		}
+		if flags.Has(FlagPadded) {
+			if len(p) < 1 || int(p[0]) >= len(p) {
+				return nil, ConnError{ErrCodeProtocol, "bad HEADERS padding"}
+			}
+			p = p[1 : len(p)-int(p[0])]
+		}
+		if flags.Has(FlagPriority) {
+			if len(p) < 5 {
+				return nil, ConnError{ErrCodeFrameSize, "short HEADERS priority"}
+			}
+			f.HasPriority = true
+			f.Priority = parsePriorityParam(p)
+			p = p[5:]
+		}
+		f.Block = p
+		return f, nil
+
+	case FramePriority:
+		if len(p) != 5 {
+			return nil, ConnError{ErrCodeFrameSize, "PRIORITY length != 5"}
+		}
+		if streamID == 0 {
+			return nil, ConnError{ErrCodeProtocol, "PRIORITY on stream 0"}
+		}
+		return &PriorityFrame{StreamID: streamID, Priority: parsePriorityParam(p)}, nil
+
+	case FrameRSTStream:
+		if len(p) != 4 {
+			return nil, ConnError{ErrCodeFrameSize, "RST_STREAM length != 4"}
+		}
+		if streamID == 0 {
+			return nil, ConnError{ErrCodeProtocol, "RST_STREAM on stream 0"}
+		}
+		return &RSTStreamFrame{StreamID: streamID, Code: ErrCode(binary.BigEndian.Uint32(p))}, nil
+
+	case FrameSettings:
+		if streamID != 0 {
+			return nil, ConnError{ErrCodeProtocol, "SETTINGS on nonzero stream"}
+		}
+		f := &SettingsFrame{Ack: flags.Has(FlagAck)}
+		if f.Ack {
+			if len(p) != 0 {
+				return nil, ConnError{ErrCodeFrameSize, "SETTINGS ack with payload"}
+			}
+			return f, nil
+		}
+		if len(p)%6 != 0 {
+			return nil, ConnError{ErrCodeFrameSize, "SETTINGS length not multiple of 6"}
+		}
+		for len(p) > 0 {
+			f.Params = append(f.Params, Setting{
+				ID:  SettingID(binary.BigEndian.Uint16(p[:2])),
+				Val: binary.BigEndian.Uint32(p[2:6]),
+			})
+			p = p[6:]
+		}
+		return f, nil
+
+	case FramePushPromise:
+		if streamID == 0 {
+			return nil, ConnError{ErrCodeProtocol, "PUSH_PROMISE on stream 0"}
+		}
+		if flags.Has(FlagPadded) {
+			if len(p) < 1 || int(p[0]) >= len(p) {
+				return nil, ConnError{ErrCodeProtocol, "bad PUSH_PROMISE padding"}
+			}
+			p = p[1 : len(p)-int(p[0])]
+		}
+		if len(p) < 4 {
+			return nil, ConnError{ErrCodeFrameSize, "short PUSH_PROMISE"}
+		}
+		return &PushPromiseFrame{
+			StreamID:   streamID,
+			PromisedID: binary.BigEndian.Uint32(p[:4]) & 0x7fffffff,
+			Block:      p[4:],
+			EndHeaders: flags.Has(FlagEndHeaders),
+		}, nil
+
+	case FramePing:
+		if len(p) != 8 {
+			return nil, ConnError{ErrCodeFrameSize, "PING length != 8"}
+		}
+		if streamID != 0 {
+			return nil, ConnError{ErrCodeProtocol, "PING on nonzero stream"}
+		}
+		f := &PingFrame{Ack: flags.Has(FlagAck)}
+		copy(f.Data[:], p)
+		return f, nil
+
+	case FrameGoAway:
+		if len(p) < 8 {
+			return nil, ConnError{ErrCodeFrameSize, "short GOAWAY"}
+		}
+		if streamID != 0 {
+			return nil, ConnError{ErrCodeProtocol, "GOAWAY on nonzero stream"}
+		}
+		return &GoAwayFrame{
+			LastStreamID: binary.BigEndian.Uint32(p[:4]) & 0x7fffffff,
+			Code:         ErrCode(binary.BigEndian.Uint32(p[4:8])),
+			Debug:        p[8:],
+		}, nil
+
+	case FrameWindowUpdate:
+		if len(p) != 4 {
+			return nil, ConnError{ErrCodeFrameSize, "WINDOW_UPDATE length != 4"}
+		}
+		inc := binary.BigEndian.Uint32(p) & 0x7fffffff
+		if inc == 0 {
+			return nil, ConnError{ErrCodeProtocol, "WINDOW_UPDATE increment 0"}
+		}
+		return &WindowUpdateFrame{StreamID: streamID, Increment: inc}, nil
+
+	case FrameContinuation:
+		if streamID == 0 {
+			return nil, ConnError{ErrCodeProtocol, "CONTINUATION on stream 0"}
+		}
+		return &ContinuationFrame{StreamID: streamID, Block: p, EndHeaders: flags.Has(FlagEndHeaders)}, nil
+
+	default:
+		// Unknown frame types must be ignored (RFC 7540 Section 4.1).
+		return nil, nil
+	}
+}

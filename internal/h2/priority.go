@@ -1,0 +1,188 @@
+package h2
+
+// PriorityTree implements the RFC 7540 Section 5.3 stream dependency tree
+// together with the weighted scheduling walk the server uses to pick the
+// next stream to send DATA for.
+//
+// Scheduling semantics (matching h2o's default lexicographic scheduler):
+// a node's own stream is served while it can make progress; its children
+// only receive bandwidth when the node itself cannot send. Siblings whose
+// subtrees can send share bandwidth in proportion to their weights via a
+// served-bytes/weight virtual-time rule. This is exactly why, by default,
+// a pushed stream (a child of the stream that triggered the push) is
+// starved until its parent response has finished — Fig. 5(a) of the paper.
+type PriorityTree struct {
+	nodes map[uint32]*prioNode
+	root  *prioNode
+}
+
+type prioNode struct {
+	id       uint32
+	parent   *prioNode
+	children []*prioNode
+	weight   uint8 // wire value; effective weight is weight+1
+	served   int64 // bytes charged at this level for sibling fairness
+	st       *Stream
+}
+
+// DefaultWeight is the wire default (effective weight 16).
+const DefaultWeight = 15
+
+// NewPriorityTree returns a tree containing only the root (stream 0).
+func NewPriorityTree() *PriorityTree {
+	root := &prioNode{id: 0, weight: DefaultWeight}
+	return &PriorityTree{
+		nodes: map[uint32]*prioNode{0: root},
+		root:  root,
+	}
+}
+
+func (t *PriorityTree) node(id uint32) *prioNode {
+	if n, ok := t.nodes[id]; ok {
+		return n
+	}
+	// Priority frames may reference streams we have not seen yet (idle
+	// placeholders); create them under the root, per RFC 7540 5.3.4.
+	n := &prioNode{id: id, weight: DefaultWeight, parent: t.root}
+	t.root.children = append(t.root.children, n)
+	t.nodes[id] = n
+	return n
+}
+
+// Bind associates a stream object with its tree node, creating the node
+// with default priority when necessary.
+func (t *PriorityTree) Bind(st *Stream) {
+	t.node(st.ID).st = st
+}
+
+// Update applies a dependency change (from HEADERS priority or a PRIORITY
+// frame) with full RFC 7540 Section 5.3.3 semantics, including moving the
+// new parent when it is a descendant of the reprioritized stream, and the
+// exclusive flag.
+func (t *PriorityTree) Update(id uint32, p PriorityParam) {
+	if p.ParentID == id {
+		// Self-dependency is a protocol error handled by the caller;
+		// ignore defensively here.
+		return
+	}
+	n := t.node(id)
+	parent := t.node(p.ParentID)
+	// If the new parent is a descendant of n, first move it up to n's
+	// current parent (retaining its weight).
+	if t.isDescendant(parent, n) {
+		t.detach(parent)
+		t.attach(parent, n.parent)
+	}
+	t.detach(n)
+	if p.Exclusive {
+		// n adopts all of parent's current children.
+		for _, c := range parent.children {
+			c.parent = n
+			n.children = append(n.children, c)
+		}
+		parent.children = nil
+	}
+	n.weight = p.Weight
+	t.attach(n, parent)
+}
+
+func (t *PriorityTree) isDescendant(n, ancestor *prioNode) bool {
+	for p := n.parent; p != nil; p = p.parent {
+		if p == ancestor {
+			return true
+		}
+	}
+	return false
+}
+
+func (t *PriorityTree) detach(n *prioNode) {
+	p := n.parent
+	if p == nil {
+		return
+	}
+	for i, c := range p.children {
+		if c == n {
+			p.children = append(p.children[:i], p.children[i+1:]...)
+			break
+		}
+	}
+	n.parent = nil
+}
+
+func (t *PriorityTree) attach(n, parent *prioNode) {
+	n.parent = parent
+	parent.children = append(parent.children, n)
+}
+
+// Remove closes a stream's node; its children are reparented to the
+// grandparent (RFC 7540 5.3.4, weight redistribution simplified).
+func (t *PriorityTree) Remove(id uint32) {
+	n, ok := t.nodes[id]
+	if !ok || n == t.root {
+		return
+	}
+	parent := n.parent
+	t.detach(n)
+	for _, c := range n.children {
+		c.parent = parent
+		parent.children = append(parent.children, c)
+	}
+	n.children = nil
+	n.st = nil
+	delete(t.nodes, id)
+}
+
+// Next walks the tree and returns the stream to serve next: the shallowest
+// sendable stream, with weighted fairness among sibling subtrees. It
+// returns nil when nothing is sendable.
+func (t *PriorityTree) Next(sendable func(*Stream) bool) *Stream {
+	return t.next(t.root, sendable)
+}
+
+func (t *PriorityTree) next(n *prioNode, sendable func(*Stream) bool) *Stream {
+	if n.st != nil && sendable(n.st) {
+		return n.st
+	}
+	var best *prioNode
+	var bestKey float64
+	for _, c := range n.children {
+		if !t.subtreeSendable(c, sendable) {
+			continue
+		}
+		key := float64(c.served+1) / float64(int(c.weight)+1)
+		if best == nil || key < bestKey || (key == bestKey && c.id < best.id) {
+			best, bestKey = c, key
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	return t.next(best, sendable)
+}
+
+func (t *PriorityTree) subtreeSendable(n *prioNode, sendable func(*Stream) bool) bool {
+	if n.st != nil && sendable(n.st) {
+		return true
+	}
+	for _, c := range n.children {
+		if t.subtreeSendable(c, sendable) {
+			return true
+		}
+	}
+	return false
+}
+
+// Charge accounts n bytes served on the stream, at every ancestor level,
+// so sibling fairness holds throughout the tree.
+func (t *PriorityTree) Charge(id uint32, n int) {
+	nd, ok := t.nodes[id]
+	if !ok {
+		return
+	}
+	for ; nd != nil && nd != t.root; nd = nd.parent {
+		nd.served += int64(n)
+	}
+}
+
+// Len reports the number of known streams (excluding the root).
+func (t *PriorityTree) Len() int { return len(t.nodes) - 1 }

@@ -1,0 +1,136 @@
+package h2
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/hpack"
+)
+
+// Request is the HTTP/2 pseudo-header view of a request.
+type Request struct {
+	Method    string
+	Scheme    string
+	Authority string
+	Path      string
+	Header    []hpack.HeaderField // non-pseudo fields
+}
+
+// URL returns scheme://authority/path.
+func (r Request) URL() string {
+	return fmt.Sprintf("%s://%s%s", r.Scheme, r.Authority, r.Path)
+}
+
+// Fields encodes the request as an HPACK header list, pseudo-headers
+// first as required by RFC 7540 Section 8.1.2.1.
+func (r Request) Fields() []hpack.HeaderField {
+	fs := []hpack.HeaderField{
+		{Name: ":method", Value: r.Method},
+		{Name: ":scheme", Value: r.Scheme},
+		{Name: ":authority", Value: r.Authority},
+		{Name: ":path", Value: r.Path},
+	}
+	return append(fs, r.Header...)
+}
+
+// ParseRequest extracts a Request from a decoded header list.
+func ParseRequest(fields []hpack.HeaderField) (Request, error) {
+	var r Request
+	for _, f := range fields {
+		switch f.Name {
+		case ":method":
+			r.Method = f.Value
+		case ":scheme":
+			r.Scheme = f.Value
+		case ":authority":
+			r.Authority = f.Value
+		case ":path":
+			r.Path = f.Value
+		default:
+			if len(f.Name) > 0 && f.Name[0] == ':' {
+				return r, fmt.Errorf("h2: unknown pseudo-header %q", f.Name)
+			}
+			r.Header = append(r.Header, f)
+		}
+	}
+	if r.Method == "" || r.Path == "" {
+		return r, fmt.Errorf("h2: incomplete request pseudo-headers")
+	}
+	return r, nil
+}
+
+// Server wraps a server-side Core with request dispatch and response /
+// push helpers. It is transport-agnostic.
+type Server struct {
+	Core *Core
+	// Handler is invoked when a request's headers are complete. Bodies on
+	// requests are ignored (the testbed replays GETs).
+	Handler func(sw *ServerStream, req Request)
+}
+
+// NewServer builds a server connection with the given local settings.
+func NewServer(local Settings, handler func(sw *ServerStream, req Request)) *Server {
+	s := &Server{Core: NewCore(true, local), Handler: handler}
+	s.Core.OnHeaders = func(st *Stream, fields []hpack.HeaderField, endStream bool) {
+		req, err := ParseRequest(fields)
+		if err != nil {
+			s.Core.streamError(st.ID, ErrCodeProtocol)
+			return
+		}
+		sw := &ServerStream{Server: s, St: st, Req: req}
+		st.User = sw
+		if s.Handler != nil {
+			s.Handler(sw, req)
+		}
+	}
+	return s
+}
+
+// ServerStream is the server's handle on one request (or push) stream.
+type ServerStream struct {
+	Server *Server
+	St     *Stream
+	Req    Request
+}
+
+// Respond sends a complete response on the stream.
+func (sw *ServerStream) Respond(status int, ctype string, body []byte, extra ...hpack.HeaderField) {
+	fields := []hpack.HeaderField{
+		{Name: ":status", Value: strconv.Itoa(status)},
+	}
+	if ctype != "" {
+		fields = append(fields, hpack.HeaderField{Name: "content-type", Value: ctype})
+	}
+	fields = append(fields, hpack.HeaderField{Name: "content-length", Value: strconv.Itoa(len(body))})
+	fields = append(fields, extra...)
+	if len(body) == 0 {
+		sw.Server.Core.SendResponseHeaders(sw.St, fields, true)
+		return
+	}
+	sw.Server.Core.SendResponseHeaders(sw.St, fields, false)
+	sw.St.QueueData(body)
+	sw.St.CloseOut()
+}
+
+// Push announces a pushed response for req on this stream and returns the
+// promised stream's handle, on which Respond must then be called. It
+// returns nil when the client disabled push (SETTINGS_ENABLE_PUSH=0).
+func (sw *ServerStream) Push(req Request) *ServerStream {
+	st := sw.Server.Core.Push(sw.St, req.Fields())
+	if st == nil {
+		return nil
+	}
+	psw := &ServerStream{Server: sw.Server, St: st, Req: req}
+	st.User = psw
+	return psw
+}
+
+// Interleave pauses this stream's body after offset bytes and resumes it
+// once every stream in after has finished sending. This is the paper's
+// modified h2o scheduler: the base document is cut at a byte offset (e.g.
+// just past </head>), critical pushed resources are sent, then the
+// document continues (Sec. 5, Fig. 5a).
+func (sw *ServerStream) Interleave(offset int, after []uint32) {
+	sw.St.PauseOutputAt(offset)
+	sw.St.ResumeAfter(after)
+}

@@ -1,0 +1,236 @@
+package hpack
+
+import "fmt"
+
+// Encoder compresses header lists into HPACK header blocks. An Encoder is
+// stateful (dynamic table) and must be paired with exactly one Decoder on
+// the remote side, in connection order.
+type Encoder struct {
+	dt dynamicTable
+	// pendingMaxSize holds a table-size reduction that must be signalled
+	// at the start of the next header block.
+	pendingMaxSize *uint32
+	// DisableIndexing stops the encoder from adding entries to the
+	// dynamic table (useful for benchmarks and ablations).
+	DisableIndexing bool
+}
+
+// NewEncoder returns an encoder with the default 4096-byte dynamic table.
+func NewEncoder() *Encoder {
+	e := &Encoder{}
+	e.dt.maxSize = DefaultDynamicTableSize
+	return e
+}
+
+// SetMaxDynamicTableSize applies a table size chosen by the peer's
+// SETTINGS_HEADER_TABLE_SIZE. Reductions are signalled in-band at the
+// start of the next block, as required by RFC 7541 Section 4.2.
+func (e *Encoder) SetMaxDynamicTableSize(m uint32) {
+	if m < e.dt.maxSize {
+		e.pendingMaxSize = &m
+	}
+	e.dt.setMaxSize(m)
+}
+
+// EncodeBlock compresses fields into a single header block fragment.
+func (e *Encoder) EncodeBlock(fields []HeaderField) []byte {
+	var dst []byte
+	if e.pendingMaxSize != nil {
+		dst = appendInt(dst, 0x20, 5, uint64(*e.pendingMaxSize))
+		e.pendingMaxSize = nil
+	}
+	for _, hf := range fields {
+		dst = e.appendField(dst, hf)
+	}
+	return dst
+}
+
+func (e *Encoder) appendField(dst []byte, hf HeaderField) []byte {
+	if hf.Sensitive {
+		// Never-indexed literal (0001xxxx).
+		nameIdx := e.bestNameIndex(hf.Name)
+		dst = appendInt(dst, 0x10, 4, uint64(nameIdx))
+		if nameIdx == 0 {
+			dst = appendString(dst, hf.Name)
+		}
+		return appendString(dst, hf.Value)
+	}
+	// Exact match?
+	if i, ok := staticExact[hf.Name+"\x00"+hf.Value]; ok {
+		return appendInt(dst, 0x80, 7, uint64(i))
+	}
+	if i, exactDyn := e.dt.search(hf); i != 0 && !exactDyn {
+		return appendInt(dst, 0x80, 7, uint64(staticTableLen+i))
+	}
+	// Literal with incremental indexing (01xxxxxx), indexed name if any.
+	nameIdx := e.bestNameIndex(hf.Name)
+	if e.DisableIndexing {
+		dst = appendInt(dst, 0, 4, uint64(nameIdx)) // without indexing
+	} else {
+		dst = appendInt(dst, 0x40, 6, uint64(nameIdx))
+		e.dt.add(hf)
+	}
+	if nameIdx == 0 {
+		dst = appendString(dst, hf.Name)
+	}
+	return appendString(dst, hf.Value)
+}
+
+// bestNameIndex returns an HPACK index whose entry has the given name, or
+// zero when the name must be sent literally.
+func (e *Encoder) bestNameIndex(name string) int {
+	if i, ok := staticName[name]; ok {
+		return i
+	}
+	if i, nameOnly := e.dt.search(HeaderField{Name: name, Value: "\x00hpack-no-such-value"}); i != 0 && nameOnly {
+		return staticTableLen + i
+	}
+	return 0
+}
+
+// DynamicTableSize returns the current dynamic table occupancy in bytes.
+func (e *Encoder) DynamicTableSize() uint32 { return e.dt.size }
+
+// Decoder decompresses HPACK header blocks.
+type Decoder struct {
+	dt dynamicTable
+	// MaxStringLength bounds individual decoded strings; zero means the
+	// default of 1 MiB.
+	MaxStringLength int
+	// maxAllowed is the ceiling the decoder permits for in-band dynamic
+	// table size updates (our SETTINGS_HEADER_TABLE_SIZE).
+	maxAllowed uint32
+}
+
+// NewDecoder returns a decoder with the default 4096-byte dynamic table.
+func NewDecoder() *Decoder {
+	d := &Decoder{maxAllowed: DefaultDynamicTableSize}
+	d.dt.maxSize = DefaultDynamicTableSize
+	return d
+}
+
+// SetAllowedMaxDynamicTableSize updates the ceiling we advertised via
+// SETTINGS_HEADER_TABLE_SIZE.
+func (d *Decoder) SetAllowedMaxDynamicTableSize(m uint32) {
+	d.maxAllowed = m
+	if d.dt.maxSize > m {
+		d.dt.setMaxSize(m)
+	}
+}
+
+func (d *Decoder) maxString() int {
+	if d.MaxStringLength > 0 {
+		return d.MaxStringLength
+	}
+	return 1 << 20
+}
+
+// lookup resolves an absolute HPACK index.
+func (d *Decoder) lookup(i uint64) (HeaderField, error) {
+	if i == 0 {
+		return HeaderField{}, fmt.Errorf("%w: index 0", ErrDecode)
+	}
+	if i <= uint64(staticTableLen) {
+		return staticTable[i], nil
+	}
+	hf, ok := d.dt.at(int(i) - staticTableLen)
+	if !ok {
+		return HeaderField{}, fmt.Errorf("%w: index %d out of table", ErrDecode, i)
+	}
+	return hf, nil
+}
+
+// DecodeBlock decompresses a complete header block.
+func (d *Decoder) DecodeBlock(p []byte) ([]HeaderField, error) {
+	var out []HeaderField
+	seenField := false
+	for len(p) > 0 {
+		b := p[0]
+		switch {
+		case b&0x80 != 0: // indexed field
+			i, rest, err := readInt(p, 7)
+			if err != nil {
+				return nil, err
+			}
+			p = rest
+			hf, err := d.lookup(i)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, hf)
+			seenField = true
+
+		case b&0xc0 == 0x40: // literal with incremental indexing
+			hf, rest, err := d.readLiteral(p, 6)
+			if err != nil {
+				return nil, err
+			}
+			p = rest
+			d.dt.add(hf)
+			out = append(out, hf)
+			seenField = true
+
+		case b&0xe0 == 0x20: // dynamic table size update
+			if seenField {
+				return nil, fmt.Errorf("%w: table size update after fields", ErrDecode)
+			}
+			m, rest, err := readInt(p, 5)
+			if err != nil {
+				return nil, err
+			}
+			if m > uint64(d.maxAllowed) {
+				return nil, fmt.Errorf("%w: table size %d above allowed %d", ErrDecode, m, d.maxAllowed)
+			}
+			d.dt.setMaxSize(uint32(m))
+			p = rest
+
+		case b&0xf0 == 0x10: // never indexed literal
+			hf, rest, err := d.readLiteral(p, 4)
+			if err != nil {
+				return nil, err
+			}
+			hf.Sensitive = true
+			p = rest
+			out = append(out, hf)
+			seenField = true
+
+		default: // 0000xxxx literal without indexing
+			hf, rest, err := d.readLiteral(p, 4)
+			if err != nil {
+				return nil, err
+			}
+			p = rest
+			out = append(out, hf)
+			seenField = true
+		}
+	}
+	return out, nil
+}
+
+func (d *Decoder) readLiteral(p []byte, prefix uint8) (HeaderField, []byte, error) {
+	i, p, err := readInt(p, prefix)
+	if err != nil {
+		return HeaderField{}, nil, err
+	}
+	var hf HeaderField
+	if i != 0 {
+		base, err := d.lookup(i)
+		if err != nil {
+			return HeaderField{}, nil, err
+		}
+		hf.Name = base.Name
+	} else {
+		hf.Name, p, err = readString(p, d.maxString())
+		if err != nil {
+			return HeaderField{}, nil, err
+		}
+	}
+	hf.Value, p, err = readString(p, d.maxString())
+	if err != nil {
+		return HeaderField{}, nil, err
+	}
+	return hf, p, nil
+}
+
+// DynamicTableSize returns the current dynamic table occupancy in bytes.
+func (d *Decoder) DynamicTableSize() uint32 { return d.dt.size }

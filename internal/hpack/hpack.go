@@ -1,0 +1,185 @@
+// Package hpack implements HPACK header compression (RFC 7541) for the
+// from-scratch HTTP/2 stack in internal/h2: static and dynamic tables,
+// prefix-coded integers, and Huffman-coded string literals.
+//
+// The implementation is complete enough to interoperate with itself over
+// real connections and to be validated against the RFC 7541 Appendix C
+// test vectors (see hpack_test.go).
+package hpack
+
+import (
+	"errors"
+	"fmt"
+)
+
+// A HeaderField is a single name/value pair. Sensitive fields are encoded
+// as never-indexed literals so intermediaries must not remember them.
+type HeaderField struct {
+	Name, Value string
+	Sensitive   bool
+}
+
+// Size returns the RFC 7541 Section 4.1 size of the entry (octets + 32).
+func (hf HeaderField) Size() uint32 {
+	return uint32(len(hf.Name) + len(hf.Value) + 32)
+}
+
+func (hf HeaderField) String() string {
+	return fmt.Sprintf("%s: %s", hf.Name, hf.Value)
+}
+
+// DefaultDynamicTableSize is the SETTINGS_HEADER_TABLE_SIZE default.
+const DefaultDynamicTableSize = 4096
+
+// ErrDecode is the base error for malformed header blocks.
+var ErrDecode = errors.New("hpack: decoding error")
+
+// dynamicTable is the FIFO table of recently encoded/decoded fields.
+// Entry 0 is the newest (absolute HPACK index 62).
+type dynamicTable struct {
+	ents    []HeaderField
+	size    uint32
+	maxSize uint32
+}
+
+func (dt *dynamicTable) setMaxSize(m uint32) {
+	dt.maxSize = m
+	dt.evict()
+}
+
+func (dt *dynamicTable) add(hf HeaderField) {
+	sz := hf.Size()
+	if sz > dt.maxSize {
+		// An entry larger than the table empties it (RFC 7541 4.4).
+		dt.ents = nil
+		dt.size = 0
+		return
+	}
+	dt.ents = append([]HeaderField{hf}, dt.ents...)
+	dt.size += sz
+	dt.evict()
+}
+
+func (dt *dynamicTable) evict() {
+	for dt.size > dt.maxSize && len(dt.ents) > 0 {
+		last := dt.ents[len(dt.ents)-1]
+		dt.size -= last.Size()
+		dt.ents = dt.ents[:len(dt.ents)-1]
+	}
+}
+
+// at returns the entry with 1-based dynamic index i (1 = newest).
+func (dt *dynamicTable) at(i int) (HeaderField, bool) {
+	if i < 1 || i > len(dt.ents) {
+		return HeaderField{}, false
+	}
+	return dt.ents[i-1], true
+}
+
+// search returns the 1-based dynamic index of the best match:
+// exact (name+value) match preferred, else a name-only match; 0 if none.
+func (dt *dynamicTable) search(hf HeaderField) (idx int, nameOnly bool) {
+	nameIdx := 0
+	for i, e := range dt.ents {
+		if e.Name != hf.Name {
+			continue
+		}
+		if e.Value == hf.Value {
+			return i + 1, false
+		}
+		if nameIdx == 0 {
+			nameIdx = i + 1
+		}
+	}
+	if nameIdx != 0 {
+		return nameIdx, true
+	}
+	return 0, false
+}
+
+// --- integer primitives (RFC 7541 Section 5.1) ---
+
+// appendInt encodes v with an n-bit prefix. first holds the bits already
+// set in the first byte (pattern bits above the prefix).
+func appendInt(dst []byte, first byte, n uint8, v uint64) []byte {
+	max := uint64(1)<<n - 1
+	if v < max {
+		return append(dst, first|byte(v))
+	}
+	dst = append(dst, first|byte(max))
+	v -= max
+	for v >= 128 {
+		dst = append(dst, byte(v&0x7f)|0x80)
+		v >>= 7
+	}
+	return append(dst, byte(v))
+}
+
+// readInt decodes an n-bit-prefix integer starting at p[0].
+func readInt(p []byte, n uint8) (v uint64, rest []byte, err error) {
+	if len(p) == 0 {
+		return 0, nil, fmt.Errorf("%w: truncated integer", ErrDecode)
+	}
+	max := uint64(1)<<n - 1
+	v = uint64(p[0]) & max
+	p = p[1:]
+	if v < max {
+		return v, p, nil
+	}
+	var shift uint
+	for {
+		if len(p) == 0 {
+			return 0, nil, fmt.Errorf("%w: truncated varint", ErrDecode)
+		}
+		b := p[0]
+		p = p[1:]
+		v += uint64(b&0x7f) << shift
+		if b&0x80 == 0 {
+			return v, p, nil
+		}
+		shift += 7
+		if shift > 56 {
+			return 0, nil, fmt.Errorf("%w: integer overflow", ErrDecode)
+		}
+	}
+}
+
+// --- string primitives (RFC 7541 Section 5.2) ---
+
+// appendString encodes s, using Huffman coding when it is shorter.
+func appendString(dst []byte, s string) []byte {
+	hlen := HuffmanEncodeLength(s)
+	if hlen < len(s) {
+		dst = appendInt(dst, 0x80, 7, uint64(hlen))
+		return HuffmanEncode(dst, s)
+	}
+	dst = appendInt(dst, 0, 7, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func readString(p []byte, maxLen int) (s string, rest []byte, err error) {
+	if len(p) == 0 {
+		return "", nil, fmt.Errorf("%w: truncated string", ErrDecode)
+	}
+	huff := p[0]&0x80 != 0
+	n, p, err := readInt(p, 7)
+	if err != nil {
+		return "", nil, err
+	}
+	if n > uint64(maxLen) {
+		return "", nil, fmt.Errorf("%w: string length %d exceeds limit %d", ErrDecode, n, maxLen)
+	}
+	if uint64(len(p)) < n {
+		return "", nil, fmt.Errorf("%w: string extends past block", ErrDecode)
+	}
+	raw := p[:n]
+	p = p[n:]
+	if huff {
+		dec, err := HuffmanDecode(raw)
+		if err != nil {
+			return "", nil, err
+		}
+		return string(dec), p, nil
+	}
+	return string(raw), p, nil
+}

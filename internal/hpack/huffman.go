@@ -1,0 +1,104 @@
+package hpack
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrHuffman is returned for invalid Huffman-coded string literals.
+var ErrHuffman = errors.New("hpack: invalid Huffman-coded data")
+
+// huffNode is a binary decoding tree node built from the RFC 7541 table.
+type huffNode struct {
+	children [2]*huffNode
+	sym      byte
+	leaf     bool
+}
+
+var huffRoot = buildHuffTree()
+
+func buildHuffTree() *huffNode {
+	root := &huffNode{}
+	for sym := 0; sym < 256; sym++ {
+		code := huffCodes[sym]
+		bits := int(huffLens[sym])
+		n := root
+		for i := bits - 1; i >= 0; i-- {
+			b := (code >> uint(i)) & 1
+			if n.children[b] == nil {
+				n.children[b] = &huffNode{}
+			}
+			n = n.children[b]
+		}
+		n.sym = byte(sym)
+		n.leaf = true
+	}
+	return root
+}
+
+// HuffmanDecode decodes an RFC 7541 Huffman-coded string. Padding must be
+// the most-significant bits of the EOS symbol (all ones) and shorter than
+// one byte, per the RFC's strict requirements.
+func HuffmanDecode(data []byte) ([]byte, error) {
+	var out []byte
+	n := huffRoot
+	depth := 0 // bits consumed on the current partial symbol
+	allOnes := true
+	for _, b := range data {
+		for i := 7; i >= 0; i-- {
+			bit := (b >> uint(i)) & 1
+			if bit == 0 {
+				allOnes = false
+			}
+			n = n.children[bit]
+			if n == nil {
+				return nil, ErrHuffman
+			}
+			depth++
+			if n.leaf {
+				out = append(out, n.sym)
+				n = huffRoot
+				depth = 0
+				allOnes = true
+			}
+		}
+	}
+	// Remaining bits are padding: must be <8 bits, all ones (EOS prefix).
+	if depth > 7 {
+		return nil, fmt.Errorf("%w: padding longer than 7 bits", ErrHuffman)
+	}
+	if depth > 0 && !allOnes {
+		return nil, fmt.Errorf("%w: padding not EOS prefix", ErrHuffman)
+	}
+	return out, nil
+}
+
+// HuffmanEncodeLength returns the encoded size of s in bytes.
+func HuffmanEncodeLength(s string) int {
+	bits := 0
+	for i := 0; i < len(s); i++ {
+		bits += int(huffLens[s[i]])
+	}
+	return (bits + 7) / 8
+}
+
+// HuffmanEncode appends the Huffman coding of s to dst.
+func HuffmanEncode(dst []byte, s string) []byte {
+	var acc uint64
+	var nbits uint
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		acc = acc<<uint(huffLens[c]) | uint64(huffCodes[c])
+		nbits += uint(huffLens[c])
+		for nbits >= 8 {
+			nbits -= 8
+			dst = append(dst, byte(acc>>nbits))
+		}
+	}
+	if nbits > 0 {
+		// Pad with the most-significant bits of EOS (all ones).
+		acc = acc<<(8-nbits) | (0xff >> nbits)
+		dst = append(dst, byte(acc))
+	}
+	return dst
+}

@@ -1,0 +1,87 @@
+package htmlx
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+)
+
+// RewriteOptions configures the HTML transformations behind the paper's
+// "optimized" strategies (Sec. 5): inline a computed critical CSS in the
+// <head> and move the original stylesheet links to the end of <body>, so
+// they stop blocking the critical render path.
+type RewriteOptions struct {
+	// CriticalCSS is inlined as a <style> element at the start of <head>.
+	CriticalCSS string
+	// MoveCSSToBodyEnd relocates every <link rel=stylesheet> whose URL is
+	// in MoveURLs (or all of them when MoveURLs is nil) to just before
+	// </body>.
+	MoveCSSToBodyEnd bool
+	MoveURLs         map[string]bool
+}
+
+// Rewrite applies opts to an HTML document and returns the new bytes. The
+// input is left untouched.
+func Rewrite(raw []byte, opts RewriteOptions) []byte {
+	d := Parse(raw)
+	type cut struct{ start, end int }
+	var cuts []cut
+	var moved [][]byte
+
+	if opts.MoveCSSToBodyEnd {
+		// Find the byte ranges of stylesheet link tags to relocate.
+		pos := 0
+		for {
+			t, _ := nextTag(raw, pos)
+			if t == nil {
+				break
+			}
+			pos = t.end
+			if t.closing || t.name != "link" {
+				continue
+			}
+			if strings.ToLower(t.attrVal("rel")) != "stylesheet" {
+				continue
+			}
+			url := t.attrVal("href")
+			if opts.MoveURLs != nil && !opts.MoveURLs[url] {
+				continue
+			}
+			cuts = append(cuts, cut{t.start, t.end})
+			moved = append(moved, append([]byte(nil), raw[t.start:t.end]...))
+		}
+	}
+
+	var out bytes.Buffer
+	out.Grow(len(raw) + len(opts.CriticalCSS) + 64)
+	insertAt := d.HeadStart
+	// write copies raw[from:to] to the output, omitting cut ranges (which
+	// are in document order).
+	write := func(from, to int) {
+		for _, c := range cuts {
+			if c.end <= from || c.start >= to {
+				continue
+			}
+			if c.start > from {
+				out.Write(raw[from:c.start])
+			}
+			from = c.end
+		}
+		if from < to {
+			out.Write(raw[from:to])
+		}
+	}
+
+	if opts.CriticalCSS != "" {
+		write(0, insertAt)
+		fmt.Fprintf(&out, "<style data-critical=\"1\">%s</style>", opts.CriticalCSS)
+		write(insertAt, d.BodyEnd)
+	} else {
+		write(0, d.BodyEnd)
+	}
+	for _, m := range moved {
+		out.Write(m)
+	}
+	write(d.BodyEnd, len(raw))
+	return out.Bytes()
+}

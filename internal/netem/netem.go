@@ -1,0 +1,427 @@
+// Package netem emulates the testbed network of the paper: a DSL access
+// link (16 Mbit/s down, 1 Mbit/s up, 50 ms RTT by default, shaped with tc
+// in the original) shared by every connection between the browser and the
+// per-origin replay servers.
+//
+// The emulation is a discrete-event model on a sim.Sim virtual clock:
+//
+//   - Each direction of the access link is a FIFO pipe with a byte queue,
+//     serialization delay (rate) and propagation delay (RTT/2).
+//   - Connections are TCP-flavoured: a three-way handshake plus TLS round
+//     trip, slow start from a configurable initial window, per-ACK window
+//     growth, and ACK clocking through the reverse pipe. Loss can be
+//     injected for ablations; the default is deterministic and loss-free.
+//
+// The model intentionally omits SACK, fast retransmit and delayed ACKs:
+// the paper's effects (multi-RTT HTML transfers, bandwidth contention
+// between push streams, idle network time) only require correct
+// first-order transfer timing.
+package netem
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Rate is a link speed in bits per second.
+type Rate int64
+
+// Common rates.
+const (
+	Kbps Rate = 1_000
+	Mbps Rate = 1_000_000
+)
+
+// Profile describes the emulated access link and transport parameters.
+type Profile struct {
+	DownRate      Rate          // server -> client direction
+	UpRate        Rate          // client -> server direction
+	RTT           time.Duration // base round-trip time between client and any server
+	MSS           int           // TCP maximum segment size in bytes
+	SegOverhead   int           // per-segment header overhead counted against the link
+	QueueBytes    int           // per-direction bottleneck queue limit
+	InitialCwnd   int           // initial congestion window in segments
+	HandshakeRTTs int           // round trips before a connection is usable (TCP+TLS)
+	LossRate      float64       // probability a data segment is lost (0 = deterministic)
+}
+
+// DSL returns the paper's evaluation setting (Sec. 4.1): 50 ms RTT,
+// 16 Mbit/s downlink and 1 Mbit/s uplink.
+func DSL() Profile {
+	return Profile{
+		DownRate:      16 * Mbps,
+		UpRate:        1 * Mbps,
+		RTT:           50 * time.Millisecond,
+		MSS:           1460,
+		SegOverhead:   40,
+		QueueBytes:    192 * 1024,
+		InitialCwnd:   10,
+		HandshakeRTTs: 2,
+	}
+}
+
+// Validate reports whether the profile is internally consistent.
+func (p Profile) Validate() error {
+	switch {
+	case p.DownRate <= 0 || p.UpRate <= 0:
+		return fmt.Errorf("netem: rates must be positive (down=%d up=%d)", p.DownRate, p.UpRate)
+	case p.RTT < 0:
+		return fmt.Errorf("netem: negative RTT %v", p.RTT)
+	case p.MSS <= 0:
+		return fmt.Errorf("netem: MSS must be positive, got %d", p.MSS)
+	case p.InitialCwnd <= 0:
+		return fmt.Errorf("netem: initial cwnd must be positive, got %d", p.InitialCwnd)
+	case p.LossRate < 0 || p.LossRate >= 1:
+		return fmt.Errorf("netem: loss rate %v out of [0,1)", p.LossRate)
+	}
+	return nil
+}
+
+// txTime returns the serialization delay for size bytes at rate r.
+func txTime(size int, r Rate) time.Duration {
+	return time.Duration(int64(size) * 8 * int64(time.Second) / int64(r))
+}
+
+// pipe is one direction of the shared access link: a FIFO queue serving at
+// a fixed rate followed by fixed propagation delay.
+type pipe struct {
+	s         *sim.Sim
+	rate      Rate
+	prop      time.Duration
+	limit     int
+	busyUntil time.Duration
+	queued    int
+
+	// stats
+	delivered int64
+	dropped   int64
+}
+
+// send enqueues size bytes for transmission and calls deliver when the last
+// byte arrives at the far end. It reports false (a tail drop) when the
+// queue limit would be exceeded. force bypasses the queue limit: ACKs are
+// never dropped, because the model has no ACK-loss recovery (real TCP
+// tolerates ACK loss through cumulative ACKs, which a unidirectional
+// event model cannot reproduce faithfully).
+func (p *pipe) send(size int, force bool, deliver func()) bool {
+	if !force && p.limit > 0 && p.queued+size > p.limit {
+		p.dropped++
+		return false
+	}
+	now := p.s.Now()
+	start := p.busyUntil
+	if start < now {
+		start = now
+	}
+	done := start + txTime(size, p.rate)
+	p.busyUntil = done
+	p.queued += size
+	p.s.At(done, func() { p.queued -= size })
+	p.s.At(done+p.prop, func() {
+		p.delivered += int64(size)
+		deliver()
+	})
+	return true
+}
+
+// Network is the emulated access network shared by all connections of one
+// page load: one downlink pipe, one uplink pipe.
+type Network struct {
+	Sim  *sim.Sim
+	Prof Profile
+	down *pipe
+	up   *pipe
+
+	nextConnID int
+}
+
+// New builds a Network on the given simulator. It panics on an invalid
+// profile; profiles are static configuration, not runtime input.
+func New(s *sim.Sim, prof Profile) *Network {
+	if err := prof.Validate(); err != nil {
+		panic(err)
+	}
+	half := prof.RTT / 2
+	return &Network{
+		Sim:  s,
+		Prof: prof,
+		down: &pipe{s: s, rate: prof.DownRate, prop: half, limit: prof.QueueBytes},
+		up:   &pipe{s: s, rate: prof.UpRate, prop: half, limit: prof.QueueBytes},
+	}
+}
+
+// DownlinkDelivered returns total bytes delivered client-ward, for tests.
+func (n *Network) DownlinkDelivered() int64 { return n.down.delivered }
+
+// UplinkDelivered returns total bytes delivered server-ward, for tests.
+func (n *Network) UplinkDelivered() int64 { return n.up.delivered }
+
+// Drops returns the number of tail-dropped segments in both directions.
+func (n *Network) Drops() int64 { return n.down.dropped + n.up.dropped }
+
+// Conn is an emulated TCP+TLS connection between the client and one
+// origin server. Both ends exchange ordered byte streams.
+type Conn struct {
+	net *Network
+	ID  int
+
+	clientEnd *End // used by the browser (sends via uplink)
+	serverEnd *End // used by the origin server (sends via downlink)
+
+	established bool
+	connectEnd  time.Duration
+	closed      bool
+}
+
+// End is one endpoint of a Conn. Writers observe backpressure through
+// Buffered and the drain callback; readers receive ordered byte slices.
+type End struct {
+	conn    *Conn
+	out     *halfConn // sender state for this end's outgoing direction
+	recv    func([]byte)
+	onClose func()
+}
+
+// halfConn models one sending direction: congestion control plus the
+// shared pipe in that direction. Segments carry byte sequence numbers and
+// the receiver reassembles in order, so a retransmitted segment (after a
+// tail drop or injected loss) cannot corrupt the delivered byte stream.
+type halfConn struct {
+	s        *sim.Sim
+	pipe     *pipe // data direction
+	ackPipe  *pipe // reverse direction for ACKs
+	mss      int
+	overhead int
+	lossRate float64
+	rng      func() float64
+
+	cwnd     float64 // segments
+	ssthresh float64
+	inflight int // un-acked bytes
+	buf      []byte
+	onDrain  func()
+	peerRecv func() func([]byte)
+
+	nextSeq   int64            // next byte sequence to assign
+	expectSeq int64            // receiver: next in-order byte expected
+	ooo       map[int64][]byte // receiver: out-of-order segments by seq
+
+	sent     int64
+	acked    int64
+	rtxCount int64
+	rtt      time.Duration
+}
+
+func (h *halfConn) buffered() int { return len(h.buf) + h.inflight }
+
+func (h *halfConn) write(b []byte) {
+	h.buf = append(h.buf, b...)
+	h.pump()
+}
+
+// pump admits as many segments as the congestion window allows.
+func (h *halfConn) pump() {
+	for len(h.buf) > 0 && h.inflight < int(h.cwnd*float64(h.mss)) {
+		n := h.mss
+		if n > len(h.buf) {
+			n = len(h.buf)
+		}
+		seg := make([]byte, n)
+		copy(seg, h.buf[:n])
+		h.buf = h.buf[n:]
+		h.inflight += n
+		seq := h.nextSeq
+		h.nextSeq += int64(n)
+		h.sendSegment(seq, seg, 1)
+	}
+	h.maybeDrain()
+}
+
+func (h *halfConn) maybeDrain() {
+	if h.onDrain != nil && len(h.buf) == 0 {
+		// Drain fires when the application buffer is empty: all pending
+		// bytes have been admitted into the congestion window. Small write
+		// buffers give the HTTP/2 scheduler frame-granular control over
+		// what is sent next (as in h2o).
+		cb := h.onDrain
+		h.s.Post(cb)
+	}
+}
+
+func (h *halfConn) sendSegment(seq int64, seg []byte, attempt int) {
+	h.sent += int64(len(seg))
+	lost := h.lossRate > 0 && h.rng != nil && h.rng() < h.lossRate
+	if lost || !h.pipe.send(len(seg)+h.overhead, false, func() { h.onSegmentArrive(seq, seg) }) {
+		// Lost in the network or tail-dropped: retransmit after an RTO and
+		// fall back to slow start from half the window.
+		h.rtxCount++
+		h.ssthresh = h.cwnd / 2
+		if h.ssthresh < 2 {
+			h.ssthresh = 2
+		}
+		h.cwnd = float64(minInt(int(h.cwnd), 4))
+		rto := 2 * h.rtt
+		if rto < 100*time.Millisecond {
+			rto = 100 * time.Millisecond
+		}
+		h.s.After(rto*time.Duration(attempt), func() { h.sendSegment(seq, seg, attempt+1) })
+		return
+	}
+}
+
+// onSegmentArrive reassembles the in-order byte stream at the receiver.
+func (h *halfConn) onSegmentArrive(seq int64, seg []byte) {
+	switch {
+	case seq == h.expectSeq:
+		h.deliver(seg)
+		h.expectSeq += int64(len(seg))
+		// Flush any buffered continuation.
+		for {
+			next, ok := h.ooo[h.expectSeq]
+			if !ok {
+				break
+			}
+			delete(h.ooo, h.expectSeq)
+			h.deliver(next)
+			h.expectSeq += int64(len(next))
+		}
+	case seq > h.expectSeq:
+		if h.ooo == nil {
+			h.ooo = map[int64][]byte{}
+		}
+		h.ooo[seq] = seg
+	default:
+		// Duplicate (spurious retransmit): drop.
+	}
+	// ACK back through the reverse pipe. ACKs are never lost in the model
+	// (cumulative-ACK robustness is not modelled; see pipe.send).
+	h.ackPipe.send(h.overhead, true, func() { h.onAck(len(seg)) })
+}
+
+func (h *halfConn) deliver(seg []byte) {
+	if recv := h.peerRecv(); recv != nil {
+		recv(seg)
+	}
+}
+
+func (h *halfConn) onAck(n int) {
+	h.acked += int64(n)
+	h.inflight -= n
+	if h.inflight < 0 {
+		h.inflight = 0
+	}
+	if h.cwnd < h.ssthresh {
+		h.cwnd++ // slow start: one segment per ACK
+	} else {
+		h.cwnd += 1 / h.cwnd // congestion avoidance
+	}
+	h.pump()
+}
+
+// Dial opens a connection. onConnect runs at connectEnd (after the
+// handshake round trips), matching the paper's PLT origin (W3C
+// connectEnd). The returned Conn is not usable before onConnect.
+func (n *Network) Dial(onConnect func(*Conn)) *Conn {
+	n.nextConnID++
+	c := &Conn{net: n, ID: n.nextConnID}
+	prof := n.Prof
+	mkHalf := func(dataPipe, ackPipe *pipe) *halfConn {
+		return &halfConn{
+			s:        n.Sim,
+			pipe:     dataPipe,
+			ackPipe:  ackPipe,
+			mss:      prof.MSS,
+			overhead: prof.SegOverhead,
+			lossRate: prof.LossRate,
+			rng:      n.Sim.Rand().Float64,
+			cwnd:     float64(prof.InitialCwnd),
+			ssthresh: 1 << 20,
+			rtt:      prof.RTT,
+		}
+	}
+	upHalf := mkHalf(n.up, n.down)   // client -> server
+	downHalf := mkHalf(n.down, n.up) // server -> client
+	c.clientEnd = &End{conn: c, out: upHalf}
+	c.serverEnd = &End{conn: c, out: downHalf}
+	upHalf.peerRecv = func() func([]byte) { return c.serverEnd.recv }
+	downHalf.peerRecv = func() func([]byte) { return c.clientEnd.recv }
+
+	hs := time.Duration(prof.HandshakeRTTs) * prof.RTT
+	n.Sim.After(hs, func() {
+		c.established = true
+		c.connectEnd = n.Sim.Now()
+		onConnect(c)
+	})
+	return c
+}
+
+// ConnectEnd returns the virtual time the handshake completed.
+func (c *Conn) ConnectEnd() time.Duration { return c.connectEnd }
+
+// Established reports whether the handshake has completed.
+func (c *Conn) Established() bool { return c.established }
+
+// ClientEnd returns the browser-side endpoint.
+func (c *Conn) ClientEnd() *End { return c.clientEnd }
+
+// ServerEnd returns the origin-side endpoint.
+func (c *Conn) ServerEnd() *End { return c.serverEnd }
+
+// Close tears the connection down; further writes are dropped.
+func (c *Conn) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	if c.clientEnd.onClose != nil {
+		c.clientEnd.onClose()
+	}
+	if c.serverEnd.onClose != nil {
+		c.serverEnd.onClose()
+	}
+}
+
+// Write queues b for transmission to the peer end.
+func (e *End) Write(b []byte) {
+	if e.conn.closed || len(b) == 0 {
+		return
+	}
+	if !e.conn.established {
+		panic("netem: Write before connect")
+	}
+	e.out.write(b)
+}
+
+// Buffered returns the bytes accepted by Write that have not yet been
+// admitted to the network (excluding in-flight bytes).
+func (e *End) Buffered() int { return len(e.out.buf) }
+
+// Inflight returns un-acked bytes for this end's direction.
+func (e *End) Inflight() int { return e.out.inflight }
+
+// SetReceiver installs the ordered byte stream consumer for this end.
+func (e *End) SetReceiver(fn func([]byte)) { e.recv = fn }
+
+// SetOnDrain installs a callback invoked (asynchronously, same virtual
+// instant) whenever the send buffer fully drains into the network. The
+// HTTP/2 scheduler uses it to decide the next frame lazily.
+func (e *End) SetOnDrain(fn func()) { e.out.onDrain = fn }
+
+// SetOnClose installs a teardown callback.
+func (e *End) SetOnClose(fn func()) { e.onClose = fn }
+
+// Stats for tests and ablations.
+func (e *End) SentBytes() int64  { return e.out.sent }
+func (e *End) AckedBytes() int64 { return e.out.acked }
+func (e *End) Retransmits() int64 {
+	return e.out.rtxCount
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

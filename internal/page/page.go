@@ -1,0 +1,164 @@
+// Package page holds the small shared vocabulary of the testbed: resource
+// kinds, URL helpers and per-resource metadata that the corpus generator
+// records and the browser model consumes.
+package page
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind classifies a web resource by its role in the rendering process.
+type Kind int
+
+// Resource kinds.
+const (
+	KindOther Kind = iota
+	KindHTML
+	KindCSS
+	KindJS
+	KindImage
+	KindFont
+)
+
+var kindNames = [...]string{"other", "html", "css", "js", "image", "font"}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "invalid"
+}
+
+// KindFromContentType guesses the kind from a MIME type.
+func KindFromContentType(ct string) Kind {
+	ct = strings.ToLower(ct)
+	switch {
+	case strings.Contains(ct, "text/html"):
+		return KindHTML
+	case strings.Contains(ct, "text/css"):
+		return KindCSS
+	case strings.Contains(ct, "javascript"), strings.Contains(ct, "ecmascript"):
+		return KindJS
+	case strings.HasPrefix(ct, "image/"):
+		return KindImage
+	case strings.Contains(ct, "font"), strings.Contains(ct, "woff"):
+		return KindFont
+	}
+	return KindOther
+}
+
+// KindFromPath guesses the kind from a URL path extension.
+func KindFromPath(path string) Kind {
+	if i := strings.IndexAny(path, "?#"); i >= 0 {
+		path = path[:i]
+	}
+	switch {
+	case strings.HasSuffix(path, ".html"), strings.HasSuffix(path, "/"), path == "":
+		return KindHTML
+	case strings.HasSuffix(path, ".css"):
+		return KindCSS
+	case strings.HasSuffix(path, ".js"):
+		return KindJS
+	case strings.HasSuffix(path, ".png"), strings.HasSuffix(path, ".jpg"),
+		strings.HasSuffix(path, ".jpeg"), strings.HasSuffix(path, ".gif"),
+		strings.HasSuffix(path, ".webp"), strings.HasSuffix(path, ".svg"),
+		strings.HasSuffix(path, ".ico"):
+		return KindImage
+	case strings.HasSuffix(path, ".woff"), strings.HasSuffix(path, ".woff2"),
+		strings.HasSuffix(path, ".ttf"), strings.HasSuffix(path, ".otf"):
+		return KindFont
+	}
+	return KindOther
+}
+
+// ContentTypeFor returns a canonical MIME type for a kind.
+func ContentTypeFor(k Kind) string {
+	switch k {
+	case KindHTML:
+		return "text/html; charset=utf-8"
+	case KindCSS:
+		return "text/css"
+	case KindJS:
+		return "application/javascript"
+	case KindImage:
+		return "image/png"
+	case KindFont:
+		return "font/woff2"
+	}
+	return "application/octet-stream"
+}
+
+// Meta is per-resource metadata recorded alongside the replay database:
+// properties a real crawl would measure (script execution cost, image
+// intrinsic sizes) that the deterministic browser model needs.
+type Meta struct {
+	// ExecMS is additional JS execution cost in milliseconds, on top of
+	// the size-proportional cost.
+	ExecMS float64
+	// ParseMS is additional CSS parse cost in milliseconds.
+	ParseMS float64
+	// Width/Height are intrinsic image dimensions in CSS pixels.
+	Width, Height int
+}
+
+// URL is a parsed absolute URL (scheme://authority/path).
+type URL struct {
+	Scheme    string
+	Authority string
+	Path      string
+}
+
+func (u URL) String() string {
+	return fmt.Sprintf("%s://%s%s", u.Scheme, u.Authority, u.Path)
+}
+
+// ParseURL splits an absolute or host-relative URL. Relative references
+// are resolved against base.
+func ParseURL(s string, base URL) (URL, error) {
+	switch {
+	case strings.HasPrefix(s, "https://"), strings.HasPrefix(s, "http://"):
+		rest := s
+		u := URL{}
+		if strings.HasPrefix(rest, "https://") {
+			u.Scheme = "https"
+			rest = rest[len("https://"):]
+		} else {
+			u.Scheme = "http"
+			rest = rest[len("http://"):]
+		}
+		slash := strings.IndexByte(rest, '/')
+		if slash < 0 {
+			u.Authority = rest
+			u.Path = "/"
+		} else {
+			u.Authority = rest[:slash]
+			u.Path = rest[slash:]
+		}
+		if u.Authority == "" {
+			return URL{}, fmt.Errorf("page: empty authority in %q", s)
+		}
+		return u, nil
+	case strings.HasPrefix(s, "//"):
+		return ParseURL(base.Scheme+":"+s, base)
+	case strings.HasPrefix(s, "/"):
+		if base.Authority == "" {
+			return URL{}, fmt.Errorf("page: relative URL %q without base", s)
+		}
+		return URL{Scheme: base.Scheme, Authority: base.Authority, Path: s}, nil
+	case s == "":
+		return URL{}, fmt.Errorf("page: empty URL")
+	default:
+		// Path-relative: resolve against the base directory.
+		if base.Authority == "" {
+			return URL{}, fmt.Errorf("page: relative URL %q without base", s)
+		}
+		dir := base.Path
+		if i := strings.LastIndexByte(dir, '/'); i >= 0 {
+			dir = dir[:i+1]
+		} else {
+			dir = "/"
+		}
+		return URL{Scheme: base.Scheme, Authority: base.Authority, Path: dir + s}, nil
+	}
+}

@@ -1,0 +1,91 @@
+package page
+
+import "testing"
+
+func TestKindFromPath(t *testing.T) {
+	cases := map[string]Kind{
+		"/index.html":        KindHTML,
+		"/":                  KindHTML,
+		"":                   KindHTML,
+		"/css/main.css":      KindCSS,
+		"/js/app.js":         KindJS,
+		"/img/hero.jpg":      KindImage,
+		"/img/logo.png":      KindImage,
+		"/img/anim.gif":      KindImage,
+		"/img/pic.webp":      KindImage,
+		"/favicon.ico":       KindImage,
+		"/fonts/brand.woff2": KindFont,
+		"/fonts/brand.ttf":   KindFont,
+		"/api/data":          KindOther,
+		"/a.css?v=3":         KindCSS,
+	}
+	for path, want := range cases {
+		if got := KindFromPath(path); got != want {
+			t.Errorf("KindFromPath(%q) = %v, want %v", path, got, want)
+		}
+	}
+}
+
+func TestKindFromContentType(t *testing.T) {
+	cases := map[string]Kind{
+		"text/html; charset=utf-8": KindHTML,
+		"text/css":                 KindCSS,
+		"application/javascript":   KindJS,
+		"text/javascript":          KindJS,
+		"image/png":                KindImage,
+		"font/woff2":               KindFont,
+		"application/octet-stream": KindOther,
+	}
+	for ct, want := range cases {
+		if got := KindFromContentType(ct); got != want {
+			t.Errorf("KindFromContentType(%q) = %v, want %v", ct, got, want)
+		}
+	}
+}
+
+func TestContentTypeForRoundTrips(t *testing.T) {
+	for _, k := range []Kind{KindHTML, KindCSS, KindJS, KindImage, KindFont} {
+		if got := KindFromContentType(ContentTypeFor(k)); got != k {
+			t.Errorf("kind %v round-trips to %v", k, got)
+		}
+	}
+}
+
+func TestParseURL(t *testing.T) {
+	base := URL{Scheme: "https", Authority: "example.com", Path: "/dir/index.html"}
+	cases := []struct {
+		in   string
+		want URL
+	}{
+		{"https://cdn.example.com/a.css", URL{"https", "cdn.example.com", "/a.css"}},
+		{"http://plain.org", URL{"http", "plain.org", "/"}},
+		{"//proto.example.com/x.js", URL{"https", "proto.example.com", "/x.js"}},
+		{"/abs/path.png", URL{"https", "example.com", "/abs/path.png"}},
+		{"rel.css", URL{"https", "example.com", "/dir/rel.css"}},
+	}
+	for _, tc := range cases {
+		got, err := ParseURL(tc.in, base)
+		if err != nil {
+			t.Errorf("ParseURL(%q): %v", tc.in, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("ParseURL(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+	for _, bad := range []string{"", "https:///nohost"} {
+		if _, err := ParseURL(bad, base); err == nil {
+			t.Errorf("ParseURL(%q) accepted", bad)
+		}
+	}
+	if _, err := ParseURL("/x", URL{}); err == nil {
+		t.Error("relative URL without base accepted")
+	}
+}
+
+func TestURLString(t *testing.T) {
+	u := URL{"https", "a.com", "/b"}
+	if u.String() != "https://a.com/b" {
+		t.Fatalf("String = %q", u.String())
+	}
+}

@@ -1,0 +1,170 @@
+package replay
+
+import (
+	"time"
+
+	"repro/internal/h2"
+	"repro/internal/netem"
+	"repro/internal/sim"
+)
+
+// Farm spawns the per-IP virtual origin servers for one page load and
+// executes the push plan. One Farm serves exactly one simulated browser
+// session (the testbed builds a fresh Farm per run).
+type Farm struct {
+	S        *sim.Sim
+	Net      *netem.Network
+	Site     *Site
+	Plan     Plan
+	Settings h2.Settings
+	// ThinkTime delays every response, emulating backend fetch time. The
+	// paper assumes zero (Sec. 4.1).
+	ThinkTime time.Duration
+
+	// Stats accumulated over the session.
+	BytesPushed  int64
+	PushCount    int
+	RequestCount int
+}
+
+// NewFarm builds a farm for one run.
+func NewFarm(s *sim.Sim, net *netem.Network, site *Site, plan Plan) *Farm {
+	return &Farm{
+		S: s, Net: net, Site: site, Plan: plan,
+		Settings: h2.DefaultSettings(),
+	}
+}
+
+// Dial opens a fresh connection to the origin server replaying host.
+// ready fires at connectEnd with the client-side transport end; the
+// caller attaches its h2 client there. Every server on the farm shares
+// the emulated access link, so cross-connection contention is modelled.
+func (f *Farm) Dial(host string, ready func(clientEnd *netem.End)) {
+	f.Net.Dial(func(c *netem.Conn) {
+		srv := h2.NewServer(f.Settings, func(sw *h2.ServerStream, req h2.Request) {
+			f.RequestCount++
+			if f.ThinkTime > 0 {
+				f.S.After(f.ThinkTime, func() { f.serve(sw, req) })
+				return
+			}
+			f.serve(sw, req)
+		})
+		h2.AttachSim(srv.Core, c.ServerEnd())
+		ready(c.ClientEnd())
+	})
+}
+
+func (f *Farm) serve(sw *h2.ServerStream, req h2.Request) {
+	entry := f.Site.DB.Lookup(req.Authority, req.Path)
+	if entry == nil {
+		sw.Respond(404, "text/plain", []byte("not found in record database"))
+		return
+	}
+	url := entry.URL.String()
+	pushURLs := f.Plan.PushesFor(url)
+	spec, hasSpec := f.lookupInterleave(url)
+
+	// Order pushes: critical ones (in spec order) first, then the rest in
+	// plan order. Each push depends on the previous one in the priority
+	// tree, so delivery follows the computed push order deterministically.
+	ordered := orderPushes(pushURLs, spec.Critical)
+	type pending struct {
+		psw   *h2.ServerStream
+		entry *Entry
+	}
+	var pushes []pending
+	var prevID uint32
+	criticalIDs := make([]uint32, 0, len(spec.Critical))
+	criticalSet := map[string]bool{}
+	for _, u := range spec.Critical {
+		criticalSet[u] = true
+	}
+	for _, u := range ordered {
+		pe := f.Site.DB.Get(u)
+		if pe == nil {
+			continue
+		}
+		// A server may only push content it is authoritative for.
+		if !f.Site.Authoritative(req.Authority, pe.URL.Authority) {
+			continue
+		}
+		psw := sw.Push(h2.Request{
+			Method: "GET", Scheme: pe.URL.Scheme,
+			Authority: pe.URL.Authority, Path: pe.URL.Path,
+		})
+		if psw == nil {
+			break // client disabled push
+		}
+		if prevID != 0 {
+			sw.Server.Core.Tree.Update(psw.St.ID, h2.PriorityParam{ParentID: prevID, Weight: h2.DefaultWeight})
+		}
+		prevID = psw.St.ID
+		if criticalSet[u] {
+			criticalIDs = append(criticalIDs, psw.St.ID)
+		}
+		pushes = append(pushes, pending{psw, pe})
+		f.PushCount++
+		f.BytesPushed += int64(len(pe.Body))
+	}
+	if hasSpec && len(criticalIDs) > 0 {
+		sw.Interleave(spec.OffsetBytes, criticalIDs)
+	}
+	sw.Respond(entry.Status, entry.ContentType, entry.Body)
+	for _, p := range pushes {
+		p.psw.Respond(p.entry.Status, p.entry.ContentType, p.entry.Body)
+	}
+}
+
+func (f *Farm) lookupInterleave(url string) (InterleaveSpec, bool) {
+	if f.Plan.Interleave == nil {
+		return InterleaveSpec{}, false
+	}
+	spec, ok := f.Plan.Interleave[url]
+	return spec, ok
+}
+
+// orderPushes returns urls with the critical subset (in critical's order)
+// moved to the front.
+func orderPushes(urls, critical []string) []string {
+	if len(critical) == 0 {
+		return urls
+	}
+	inCritical := map[string]bool{}
+	for _, u := range critical {
+		inCritical[u] = true
+	}
+	out := make([]string, 0, len(urls))
+	seen := map[string]bool{}
+	for _, u := range critical {
+		if !seen[u] && contains(urls, u) {
+			out = append(out, u)
+			seen[u] = true
+		}
+	}
+	for _, u := range urls {
+		if !inCritical[u] && !seen[u] {
+			out = append(out, u)
+			seen[u] = true
+		}
+	}
+	return out
+}
+
+func contains(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// EntryURL is a helper returning the absolute URL string for a
+// host/path pair if recorded.
+func (f *Farm) EntryURL(host, path string) string {
+	e := f.Site.DB.Lookup(host, path)
+	if e == nil {
+		return ""
+	}
+	return e.URL.String()
+}

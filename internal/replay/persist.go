@@ -1,0 +1,66 @@
+package replay
+
+import (
+	"encoding/gob"
+	"fmt"
+	"os"
+
+	"repro/internal/page"
+)
+
+// siteFile is the on-disk representation of a Site (the record
+// directory, in Mahimahi terms).
+type siteFile struct {
+	Name     string
+	Base     page.URL
+	Entries  []Entry
+	IPByHost map[string]string
+	SANsByIP map[string][]string
+}
+
+// SaveSite writes a recorded site to path (gob encoded).
+func SaveSite(path string, s *Site) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("replay: saving site: %w", err)
+	}
+	defer f.Close()
+	sf := siteFile{
+		Name:     s.Name,
+		Base:     s.Base,
+		IPByHost: s.IPByHost,
+		SANsByIP: s.SANsByIP,
+	}
+	for _, e := range s.DB.Entries() {
+		sf.Entries = append(sf.Entries, *e)
+	}
+	if err := gob.NewEncoder(f).Encode(&sf); err != nil {
+		return fmt.Errorf("replay: encoding site: %w", err)
+	}
+	return nil
+}
+
+// LoadSite reads a site previously written by SaveSite.
+func LoadSite(path string) (*Site, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("replay: loading site: %w", err)
+	}
+	defer f.Close()
+	var sf siteFile
+	if err := gob.NewDecoder(f).Decode(&sf); err != nil {
+		return nil, fmt.Errorf("replay: decoding site: %w", err)
+	}
+	db := NewDB()
+	for i := range sf.Entries {
+		e := sf.Entries[i]
+		db.Add(&e)
+	}
+	return &Site{
+		Name:     sf.Name,
+		Base:     sf.Base,
+		DB:       db,
+		IPByHost: sf.IPByHost,
+		SANsByIP: sf.SANsByIP,
+	}, nil
+}

@@ -1,0 +1,51 @@
+package replay
+
+// Plan is a push strategy lowered to serving directives: what each
+// response triggers. Strategies (internal/strategy) compile to a Plan;
+// the replay farm executes it.
+type Plan struct {
+	// Push maps a triggering URL (usually the base HTML) to the ordered
+	// list of absolute URLs to push on its request. The farm silently
+	// drops non-authoritative pushes (objects on other servers cannot be
+	// pushed, Sec. 4.2).
+	Push map[string][]string
+	// Interleave maps a triggering URL to an interleaving directive.
+	Interleave map[string]InterleaveSpec
+}
+
+// InterleaveSpec is the paper's modified-scheduler directive (Sec. 5):
+// send OffsetBytes of the response, hard-switch to the pushes listed in
+// Critical (in order), then resume. Pushed URLs not in Critical are sent
+// after the response completes (the "push all optimized" layout).
+type InterleaveSpec struct {
+	OffsetBytes int
+	Critical    []string
+}
+
+// NoPush is the empty plan (the baseline; with the client additionally
+// setting SETTINGS_ENABLE_PUSH=0 nothing is ever pushed).
+func NoPush() Plan { return Plan{} }
+
+// PushList builds a plan that pushes the given URLs when trigger is
+// requested.
+func PushList(trigger string, urls ...string) Plan {
+	return Plan{Push: map[string][]string{trigger: urls}}
+}
+
+// WithInterleave returns a copy of p with an interleave directive added.
+func (p Plan) WithInterleave(trigger string, spec InterleaveSpec) Plan {
+	np := p
+	if np.Interleave == nil {
+		np.Interleave = map[string]InterleaveSpec{}
+	}
+	np.Interleave[trigger] = spec
+	return np
+}
+
+// PushesFor returns the push list for a URL.
+func (p Plan) PushesFor(url string) []string {
+	if p.Push == nil {
+		return nil
+	}
+	return p.Push[url]
+}

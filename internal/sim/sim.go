@@ -1,0 +1,170 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// All emulated components in the testbed (links, TCP-like transports, the
+// HTTP/2 endpoints and the browser model) run on a single virtual clock
+// owned by a Sim. Events are executed in strict timestamp order; ties are
+// broken by scheduling order, which makes every run bit-for-bit
+// reproducible for a given seed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Event is a scheduled callback. It is owned by the Sim that created it.
+type Event struct {
+	at     time.Duration
+	seq    uint64
+	fn     func()
+	index  int // heap index, -1 when not queued
+	cancel bool
+}
+
+// At returns the virtual time the event is scheduled for.
+func (e *Event) At() time.Duration { return e.at }
+
+// Cancel prevents a pending event from firing. Cancelling an event that
+// already fired is a no-op.
+func (e *Event) Cancel() {
+	e.cancel = true
+}
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Sim is a discrete-event simulator with a virtual clock.
+// The zero value is not usable; construct with New.
+type Sim struct {
+	now     time.Duration
+	queue   eventHeap
+	seq     uint64
+	rng     *rand.Rand
+	running bool
+	// Limit bounds the number of events processed by Run as a runaway
+	// guard. Zero means the default of 50 million events.
+	Limit int
+	// Horizon, when non-zero, stops Run once the clock passes it.
+	Horizon time.Duration
+}
+
+// New returns a simulator whose random source is seeded with seed.
+func New(seed int64) *Sim {
+	return &Sim{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() time.Duration { return s.now }
+
+// Rand returns the simulator's deterministic random source.
+func (s *Sim) Rand() *rand.Rand { return s.rng }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// panics: that is always a logic error in a discrete-event model.
+func (s *Sim) At(t time.Duration, fn func()) *Event {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
+	}
+	s.seq++
+	e := &Event{at: t, seq: s.seq, fn: fn}
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// After schedules fn to run d from now. Negative d is treated as zero.
+func (s *Sim) After(d time.Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now+d, fn)
+}
+
+// Post schedules fn to run "immediately" (at the current time, after any
+// events already queued for the current instant).
+func (s *Sim) Post(fn func()) *Event { return s.At(s.now, fn) }
+
+// Pending reports the number of events currently queued (including
+// cancelled events that have not yet been discarded).
+func (s *Sim) Pending() int { return len(s.queue) }
+
+// Step executes the single next event, advancing the clock.
+// It returns false when the queue is empty.
+func (s *Sim) Step() bool {
+	for len(s.queue) > 0 {
+		e := heap.Pop(&s.queue).(*Event)
+		if e.cancel {
+			continue
+		}
+		s.now = e.at
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains, the event limit is hit, or
+// the horizon (if set) is passed. It returns the number of events executed.
+func (s *Sim) Run() int {
+	if s.running {
+		panic("sim: Run called reentrantly")
+	}
+	s.running = true
+	defer func() { s.running = false }()
+	limit := s.Limit
+	if limit == 0 {
+		limit = 50_000_000
+	}
+	n := 0
+	for n < limit {
+		if s.Horizon > 0 && len(s.queue) > 0 {
+			// Peek: stop before executing events past the horizon.
+			if s.queue[0].at > s.Horizon {
+				return n
+			}
+		}
+		if !s.Step() {
+			return n
+		}
+		n++
+	}
+	return n
+}
+
+// RunUntil executes events with timestamps <= t and then advances the clock
+// to exactly t.
+func (s *Sim) RunUntil(t time.Duration) {
+	for len(s.queue) > 0 && s.queue[0].at <= t {
+		s.Step()
+	}
+	if t > s.now {
+		s.now = t
+	}
+}

@@ -1,0 +1,194 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEventOrdering(t *testing.T) {
+	s := New(1)
+	var got []int
+	s.At(30*time.Millisecond, func() { got = append(got, 3) })
+	s.At(10*time.Millisecond, func() { got = append(got, 1) })
+	s.At(20*time.Millisecond, func() { got = append(got, 2) })
+	if n := s.Run(); n != 3 {
+		t.Fatalf("Run executed %d events, want 3", n)
+	}
+	for i, v := range []int{1, 2, 3} {
+		if got[i] != v {
+			t.Fatalf("event order %v, want [1 2 3]", got)
+		}
+	}
+	if s.Now() != 30*time.Millisecond {
+		t.Fatalf("clock = %v, want 30ms", s.Now())
+	}
+}
+
+func TestTieBreakBySchedulingOrder(t *testing.T) {
+	s := New(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(5*time.Millisecond, func() { got = append(got, i) })
+	}
+	s.Run()
+	for i := 0; i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("tie order %v, want FIFO", got)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := New(1)
+	fired := false
+	e := s.After(time.Millisecond, func() { fired = true })
+	e.Cancel()
+	s.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	s := New(1)
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 5 {
+			s.After(time.Millisecond, tick)
+		}
+	}
+	s.Post(tick)
+	s.Run()
+	if count != 5 {
+		t.Fatalf("count = %d, want 5", count)
+	}
+	if s.Now() != 4*time.Millisecond {
+		t.Fatalf("clock = %v, want 4ms", s.Now())
+	}
+}
+
+func TestPostRunsAtCurrentInstant(t *testing.T) {
+	s := New(1)
+	var order []string
+	s.At(time.Millisecond, func() {
+		order = append(order, "a")
+		s.Post(func() { order = append(order, "b") })
+	})
+	s.At(time.Millisecond, func() { order = append(order, "c") })
+	s.Run()
+	want := []string{"a", "c", "b"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	s := New(1)
+	s.At(10*time.Millisecond, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic scheduling in the past")
+			}
+		}()
+		s.At(5*time.Millisecond, func() {})
+	})
+	s.Run()
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New(1)
+	fired := 0
+	s.At(10*time.Millisecond, func() { fired++ })
+	s.At(30*time.Millisecond, func() { fired++ })
+	s.RunUntil(20 * time.Millisecond)
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	if s.Now() != 20*time.Millisecond {
+		t.Fatalf("clock = %v, want 20ms", s.Now())
+	}
+	s.Run()
+	if fired != 2 {
+		t.Fatalf("fired = %d, want 2", fired)
+	}
+}
+
+func TestHorizonStopsRun(t *testing.T) {
+	s := New(1)
+	s.Horizon = 15 * time.Millisecond
+	fired := 0
+	s.At(10*time.Millisecond, func() { fired++ })
+	s.At(20*time.Millisecond, func() { fired++ })
+	s.Run()
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1 (horizon)", fired)
+	}
+}
+
+func TestDeterminismSameSeed(t *testing.T) {
+	run := func(seed int64) []int64 {
+		s := New(seed)
+		var vals []int64
+		var step func()
+		step = func() {
+			vals = append(vals, s.Rand().Int63n(1000))
+			if len(vals) < 50 {
+				s.After(time.Duration(s.Rand().Intn(5)+1)*time.Millisecond, step)
+			}
+		}
+		s.Post(step)
+		s.Run()
+		return vals
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+// Property: events always fire in non-decreasing timestamp order, no matter
+// the insertion order.
+func TestPropertyMonotoneFiring(t *testing.T) {
+	f := func(delays []uint16) bool {
+		if len(delays) == 0 {
+			return true
+		}
+		s := New(7)
+		var fired []time.Duration
+		for _, d := range delays {
+			at := time.Duration(d) * time.Microsecond
+			s.At(at, func() { fired = append(fired, s.Now()) })
+		}
+		s.Run()
+		if len(fired) != len(delays) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNegativeAfterClamped(t *testing.T) {
+	s := New(1)
+	fired := false
+	s.After(-5*time.Millisecond, func() { fired = true })
+	s.Run()
+	if !fired {
+		t.Fatal("negative After never fired")
+	}
+}

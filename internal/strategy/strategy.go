@@ -1,0 +1,199 @@
+// Package strategy implements the paper's push strategies (Sec. 4-5) as
+// transformations from a recorded site (plus an optional request trace)
+// to a serving plan, and in the "optimized" cases a rewritten site:
+//
+//	no push                 — baseline, client disables push
+//	push all                — push every pushable object in computed order
+//	push first N            — the limited-amount variants (1/5/10/15)
+//	push by type            — CSS / JS / images / combinations
+//	push critical           — only render-critical, above-the-fold objects
+//	no push optimized       — critical CSS in <head>, full CSS at body end
+//	push all optimized      — the rewrite + interleaved critical pushes,
+//	                          then everything else after the document
+//	push critical optimized — the rewrite + interleaved critical pushes
+//
+// The computed push order follows the paper's method: trace the request
+// order of the landing page over repeated runs, build a dependency
+// ranking, and take a majority vote across runs (Sec. 4.2).
+package strategy
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/htmlx"
+	"repro/internal/page"
+	"repro/internal/replay"
+)
+
+// Trace is the input to push-order computation: per run, the URLs of the
+// landing page's subresources in request order.
+type Trace struct {
+	Orders [][]string
+}
+
+// MajorityOrder computes a stable push order across runs: resources are
+// ranked by their median position; ties break lexicographically. This is
+// the paper's majority vote over per-run request orders.
+func (tr *Trace) MajorityOrder() []string {
+	if tr == nil || len(tr.Orders) == 0 {
+		return nil
+	}
+	positions := map[string][]int{}
+	for _, order := range tr.Orders {
+		for i, u := range order {
+			positions[u] = append(positions[u], i)
+		}
+	}
+	type ranked struct {
+		url string
+		pos float64
+		n   int
+	}
+	rs := make([]ranked, 0, len(positions))
+	for u, ps := range positions {
+		sort.Ints(ps)
+		med := float64(ps[len(ps)/2])
+		if len(ps)%2 == 0 {
+			med = float64(ps[len(ps)/2-1]+ps[len(ps)/2]) / 2
+		}
+		rs = append(rs, ranked{u, med, len(ps)})
+	}
+	sort.Slice(rs, func(i, j int) bool {
+		// Resources seen in more runs first (stable dependencies), then
+		// by median position, then lexicographically.
+		if rs[i].n != rs[j].n {
+			return rs[i].n > rs[j].n
+		}
+		if rs[i].pos != rs[j].pos {
+			return rs[i].pos < rs[j].pos
+		}
+		return rs[i].url < rs[j].url
+	})
+	out := make([]string, len(rs))
+	for i, r := range rs {
+		out[i] = r.url
+	}
+	return out
+}
+
+// Strategy produces a (possibly rewritten) site and a serving plan.
+type Strategy interface {
+	Name() string
+	Apply(site *replay.Site, tr *Trace) (*replay.Site, replay.Plan)
+}
+
+// pushableOrder filters an ordered URL list down to objects the base
+// server is authoritative for.
+func pushableOrder(site *replay.Site, order []string) []string {
+	var out []string
+	baseURL := site.Base.String()
+	for _, u := range order {
+		if u == baseURL {
+			continue
+		}
+		pu, err := page.ParseURL(u, site.Base)
+		if err != nil {
+			continue
+		}
+		if site.DB.Lookup(pu.Authority, pu.Path) == nil {
+			continue
+		}
+		if site.Authoritative(site.Base.Authority, pu.Authority) {
+			out = append(out, pu.String())
+		}
+	}
+	return out
+}
+
+// orderOrStatic returns the majority-vote order when a trace exists, or
+// the static document order otherwise.
+func orderOrStatic(site *replay.Site, tr *Trace) []string {
+	if tr != nil && len(tr.Orders) > 0 {
+		return tr.MajorityOrder()
+	}
+	entry := site.DB.Lookup(site.Base.Authority, site.Base.Path)
+	if entry == nil {
+		return nil
+	}
+	doc := htmlx.Parse(entry.Body)
+	var out []string
+	for _, r := range doc.Resources {
+		u, err := page.ParseURL(r.URL, site.Base)
+		if err == nil {
+			out = append(out, u.String())
+		}
+	}
+	return out
+}
+
+// --- basic strategies (Sec. 4.2) ---
+
+// NoPush is the baseline.
+type NoPush struct{}
+
+func (NoPush) Name() string { return "no push" }
+func (NoPush) Apply(site *replay.Site, _ *Trace) (*replay.Site, replay.Plan) {
+	return site, replay.NoPush()
+}
+
+// PushAll pushes every pushable object in the computed order (Rosen et
+// al.'s "push as much as possible").
+type PushAll struct{}
+
+func (PushAll) Name() string { return "push all" }
+func (PushAll) Apply(site *replay.Site, tr *Trace) (*replay.Site, replay.Plan) {
+	order := pushableOrder(site, orderOrStatic(site, tr))
+	if len(order) == 0 {
+		return site, replay.NoPush()
+	}
+	return site, replay.PushList(site.Base.String(), order...)
+}
+
+// PushFirstN pushes only the first N objects of the computed order
+// (Bergan et al.'s "push just enough to fill idle network time").
+type PushFirstN struct{ N int }
+
+func (s PushFirstN) Name() string { return fmt.Sprintf("push %d", s.N) }
+func (s PushFirstN) Apply(site *replay.Site, tr *Trace) (*replay.Site, replay.Plan) {
+	order := pushableOrder(site, orderOrStatic(site, tr))
+	if len(order) > s.N {
+		order = order[:s.N]
+	}
+	if len(order) == 0 {
+		return site, replay.NoPush()
+	}
+	return site, replay.PushList(site.Base.String(), order...)
+}
+
+// PushByType pushes only objects of the given kinds, in computed order.
+type PushByType struct{ Kinds []page.Kind }
+
+func (s PushByType) Name() string {
+	n := "push"
+	for _, k := range s.Kinds {
+		n += " " + k.String()
+	}
+	return n
+}
+
+func (s PushByType) Apply(site *replay.Site, tr *Trace) (*replay.Site, replay.Plan) {
+	order := pushableOrder(site, orderOrStatic(site, tr))
+	var filtered []string
+	for _, u := range order {
+		e := site.DB.Get(u)
+		if e == nil {
+			continue
+		}
+		for _, k := range s.Kinds {
+			if e.Kind() == k {
+				filtered = append(filtered, u)
+				break
+			}
+		}
+	}
+	if len(filtered) == 0 {
+		return site, replay.NoPush()
+	}
+	return site, replay.PushList(site.Base.String(), filtered...)
+}

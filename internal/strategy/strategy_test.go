@@ -1,0 +1,240 @@
+package strategy
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/htmlx"
+	"repro/internal/page"
+	"repro/internal/replay"
+)
+
+func testSite() *replay.Site {
+	b := corpus.NewPage("site.test")
+	fURL := b.Font("/fonts/brand.woff2", 30*1024)
+	b.CSS("/css/main.css", corpus.FontFaceCSS("Brand", fURL)+
+		corpus.SimpleCSS([]string{"hero", "masthead", "deep-footer"}, 200))
+	b.Script("/js/blocking.js", 40*1024, 30, true, false)
+	b.Div("masthead", 100)
+	b.Image("/img/hero.jpg", 1280, 400, 60*1024)
+	b.Text(600, "hero", "wf-Brand")
+	// Push content far below the fold.
+	for i := 0; i < 12; i++ {
+		b.Image("/img/btf.jpg", 400, 400, 20*1024)
+		b.Text(800, "deep-footer")
+	}
+	b.ScriptOn("cdn.ext.test", "/tp.js", 20*1024, 10, false, true)
+	return b.Build("strategy-site")
+}
+
+func TestMajorityOrder(t *testing.T) {
+	tr := &Trace{Orders: [][]string{
+		{"a", "b", "c"},
+		{"a", "c", "b"},
+		{"a", "b", "c"},
+	}}
+	got := tr.MajorityOrder()
+	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Fatalf("MajorityOrder = %v", got)
+	}
+	// Resources appearing in fewer runs rank below stable ones.
+	tr2 := &Trace{Orders: [][]string{
+		{"x", "flaky"},
+		{"x"},
+		{"x"},
+	}}
+	got2 := tr2.MajorityOrder()
+	if got2[0] != "x" || got2[1] != "flaky" {
+		t.Fatalf("MajorityOrder = %v", got2)
+	}
+	if (&Trace{}).MajorityOrder() != nil {
+		t.Fatal("empty trace order")
+	}
+	if (*Trace)(nil).MajorityOrder() != nil {
+		t.Fatal("nil trace order")
+	}
+}
+
+func TestPushAllExcludesThirdParty(t *testing.T) {
+	site := testSite()
+	_, plan := PushAll{}.Apply(site, nil)
+	pushes := plan.PushesFor(site.Base.String())
+	if len(pushes) == 0 {
+		t.Fatal("no pushes")
+	}
+	for _, u := range pushes {
+		if strings.Contains(u, "cdn.ext.test") {
+			t.Fatalf("third-party object in push list: %s", u)
+		}
+		if u == site.Base.String() {
+			t.Fatal("base document in push list")
+		}
+	}
+}
+
+func TestPushFirstNLimits(t *testing.T) {
+	site := testSite()
+	_, planAll := PushAll{}.Apply(site, nil)
+	all := planAll.PushesFor(site.Base.String())
+	_, plan5 := PushFirstN{N: 5}.Apply(site, nil)
+	five := plan5.PushesFor(site.Base.String())
+	if len(five) != 5 {
+		t.Fatalf("push 5 pushed %d", len(five))
+	}
+	for i := range five {
+		if five[i] != all[i] {
+			t.Fatalf("push 5 order diverges at %d", i)
+		}
+	}
+}
+
+func TestPushByTypeFilters(t *testing.T) {
+	site := testSite()
+	_, plan := PushByType{Kinds: []page.Kind{page.KindCSS}}.Apply(site, nil)
+	pushes := plan.PushesFor(site.Base.String())
+	if len(pushes) != 1 || !strings.Contains(pushes[0], "main.css") {
+		t.Fatalf("CSS-only pushes: %v", pushes)
+	}
+	_, planImg := PushByType{Kinds: []page.Kind{page.KindImage}}.Apply(site, nil)
+	for _, u := range planImg.PushesFor(site.Base.String()) {
+		if !strings.Contains(u, "/img/") {
+			t.Fatalf("non-image in image pushes: %v", u)
+		}
+	}
+}
+
+func TestAnalyzeFindsCriticalSet(t *testing.T) {
+	site := testSite()
+	a := analyze(site, 1280, 720)
+	if a == nil {
+		t.Fatal("analyze nil")
+	}
+	if len(a.cssLinks) != 1 {
+		t.Fatalf("cssLinks = %v", a.cssLinks)
+	}
+	if len(a.blockingJS) != 1 || !strings.Contains(a.blockingJS[0], "blocking.js") {
+		t.Fatalf("blockingJS = %v", a.blockingJS)
+	}
+	if len(a.fonts) != 1 {
+		t.Fatalf("fonts = %v", a.fonts)
+	}
+	if len(a.atfImages) == 0 || !strings.Contains(a.atfImages[0], "hero.jpg") {
+		t.Fatalf("atfImages = %v", a.atfImages)
+	}
+	// The deep-footer rules must be excluded from the critical CSS, the
+	// hero ones retained.
+	if !strings.Contains(a.criticalCSS, ".hero") {
+		t.Fatal("hero rules missing from critical CSS")
+	}
+	if strings.Contains(a.criticalCSS, ".unused-50") {
+		t.Fatal("bloat rules kept in critical CSS")
+	}
+	if a.interleaveOffset <= 0 {
+		t.Fatal("no interleave offset")
+	}
+}
+
+func TestRewriteSiteLayout(t *testing.T) {
+	site := testSite()
+	a := analyze(site, 1280, 720)
+	ns := rewriteSite(site, a)
+	// Critical stylesheet exists.
+	crit := ns.DB.Lookup("site.test", CriticalCSSPath)
+	if crit == nil || len(crit.Body) == 0 {
+		t.Fatal("critical css missing")
+	}
+	if len(crit.Body) >= len(site.DB.Lookup("site.test", "/css/main.css").Body) {
+		t.Fatal("critical css not smaller than the original")
+	}
+	// Rewritten document: critical link first, original CSS at body end.
+	html := ns.DB.Lookup("site.test", "/").Body
+	doc := htmlx.Parse(html)
+	var critOff, mainOff, imgOff int
+	for _, r := range doc.Resources {
+		switch {
+		case strings.Contains(r.URL, "__critical"):
+			critOff = r.Offset
+		case strings.Contains(r.URL, "main.css"):
+			mainOff = r.Offset
+		case strings.Contains(r.URL, "hero.jpg"):
+			imgOff = r.Offset
+		}
+	}
+	if critOff == 0 || mainOff == 0 {
+		t.Fatalf("missing links after rewrite: crit=%d main=%d", critOff, mainOff)
+	}
+	if !(critOff < imgOff && imgOff < mainOff) {
+		t.Fatalf("offsets wrong: crit=%d img=%d main=%d", critOff, imgOff, mainOff)
+	}
+	// Original site untouched.
+	if site.DB.Lookup("site.test", CriticalCSSPath) != nil {
+		t.Fatal("original DB mutated")
+	}
+}
+
+func TestOptimizedStrategiesProducePlans(t *testing.T) {
+	site := testSite()
+	base := site.Base.String()
+
+	nsOpt, planOpt := NoPushOptimized{}.Apply(site, nil)
+	if planOpt.PushesFor(base) != nil {
+		t.Fatal("no push optimized pushes")
+	}
+	if nsOpt.DB.Lookup("site.test", CriticalCSSPath) == nil {
+		t.Fatal("no push optimized did not rewrite")
+	}
+
+	_, planCrit := PushCriticalOptimized{}.Apply(site, nil)
+	pushes := planCrit.PushesFor(base)
+	if len(pushes) == 0 {
+		t.Fatal("push critical optimized pushes nothing")
+	}
+	spec, ok := planCrit.Interleave[base]
+	if !ok || spec.OffsetBytes <= 0 || len(spec.Critical) == 0 {
+		t.Fatalf("interleave spec = %+v", spec)
+	}
+	// Critical list must start with the critical stylesheet.
+	if !strings.Contains(spec.Critical[0], "__critical") {
+		t.Fatalf("critical[0] = %s", spec.Critical[0])
+	}
+
+	_, planAllOpt := PushAllOptimized{}.Apply(site, nil)
+	allPushes := planAllOpt.PushesFor(base)
+	if len(allPushes) <= len(pushes) {
+		t.Fatalf("push all optimized (%d) not larger than critical (%d)", len(allPushes), len(pushes))
+	}
+	// No duplicates.
+	seen := map[string]bool{}
+	for _, u := range allPushes {
+		if seen[u] {
+			t.Fatalf("duplicate push %s", u)
+		}
+		seen[u] = true
+	}
+}
+
+func TestPushCriticalPushesLessThanPushAll(t *testing.T) {
+	site := testSite()
+	_, planAll := PushAll{}.Apply(site, nil)
+	_, planCrit := PushCritical{}.Apply(site, nil)
+	base := site.Base.String()
+	if len(planCrit.PushesFor(base)) >= len(planAll.PushesFor(base)) {
+		t.Fatalf("critical (%d) not smaller than all (%d)",
+			len(planCrit.PushesFor(base)), len(planAll.PushesFor(base)))
+	}
+}
+
+func TestStrategyNames(t *testing.T) {
+	names := map[string]bool{}
+	for _, st := range []Strategy{
+		NoPush{}, PushAll{}, PushFirstN{N: 5},
+		PushByType{Kinds: []page.Kind{page.KindCSS}},
+		PushCritical{}, NoPushOptimized{}, PushAllOptimized{}, PushCriticalOptimized{},
+	} {
+		if st.Name() == "" || names[st.Name()] {
+			t.Fatalf("bad/duplicate name %q", st.Name())
+		}
+		names[st.Name()] = true
+	}
+}
