@@ -1,7 +1,7 @@
 package repro
 
 // One benchmark per table/figure of the paper's evaluation, plus
-// ablations for the design choices DESIGN.md calls out. Each benchmark
+// ablations for the testbed's modelling choices. Each benchmark
 // regenerates its experiment at a reduced-but-faithful scale (full scale
 // via cmd/pushbench -scale paper) and reports domain-specific metrics
 // through b.ReportMetric.
@@ -24,7 +24,9 @@ import (
 )
 
 func benchScale() core.ExperimentScale {
-	return core.ExperimentScale{Sites: 8, Runs: 3, Seed: 1}
+	// Jobs: 0 fans the (site, strategy, run) tuples across GOMAXPROCS
+	// workers; the tables are byte-identical to a Jobs: 1 run.
+	return core.ExperimentScale{Sites: 8, Runs: 3, Seed: 1, Jobs: 0}
 }
 
 func pctCell(b *testing.B, tab *core.Table, row, col int) float64 {
@@ -151,7 +153,7 @@ func BenchmarkFig4Synthetic(b *testing.B) {
 func BenchmarkFig5Interleaving(b *testing.B) {
 	var tab *core.Table
 	for i := 0; i < b.N; i++ {
-		tab = core.Fig5Interleaving(3, 1)
+		tab = core.Fig5Interleaving(3, 1, 0)
 	}
 	b.ReportMetric(numCell(b, tab, 0, 1), "nopush_si_ms_10kb")
 	b.ReportMetric(numCell(b, tab, 8, 1), "nopush_si_ms_90kb")
@@ -181,7 +183,7 @@ func BenchmarkFig6Interleaving(b *testing.B) {
 	report("w7", "push critical optimized", "w7_crit_opt_dsi_pct")
 }
 
-// --- ablations (DESIGN.md Sec. 5) ---
+// --- ablations of the testbed's modelling choices ---
 
 // BenchmarkAblationPreloadScanner measures the preload scanner's effect
 // on the s8-style early-reference page.
@@ -284,6 +286,26 @@ func BenchmarkAblationInterleaveOffset(b *testing.B) {
 	}
 	for _, off := range []int{1024, 4096, 16384, 65536} {
 		b.ReportMetric(float64(res[off])/1e6, "si_ms_offset"+strconv.Itoa(off))
+	}
+}
+
+// BenchmarkEngineSequential and BenchmarkEngineParallel time the same
+// experiment through the worker-pool engine with 1 worker vs GOMAXPROCS
+// workers; the resulting tables are byte-identical, only wall clock
+// differs (on multi-core hardware).
+func BenchmarkEngineSequential(b *testing.B) {
+	sc := benchScale()
+	sc.Jobs = 1
+	for i := 0; i < b.N; i++ {
+		core.Fig2bPushVsNoPush(sc)
+	}
+}
+
+func BenchmarkEngineParallel(b *testing.B) {
+	sc := benchScale()
+	sc.Jobs = 0 // GOMAXPROCS
+	for i := 0; i < b.N; i++ {
+		core.Fig2bPushVsNoPush(sc)
 	}
 }
 

@@ -7,6 +7,8 @@
 //	pushbench -exp fig5                # one experiment
 //	pushbench -exp fig6 -sites w1,w16  # subset of the popular sites
 //	pushbench -exp fig3a -scale paper  # paper scale (100 sites, 31 runs)
+//	pushbench -exp all -jobs 8         # fan runs/sites across 8 workers
+//	pushbench -exp all -jobs 1         # strictly sequential (same output)
 package main
 
 import (
@@ -25,6 +27,7 @@ func main() {
 	runs := flag.Int("runs", 0, "override repetitions per configuration")
 	nsites := flag.Int("nsites", 0, "override sites per set")
 	popN := flag.Int("population", 200_000, "population size for fig1")
+	jobs := flag.Int("jobs", 0, "worker-pool size (0 = GOMAXPROCS, 1 = sequential); output is identical for any value")
 	flag.Parse()
 
 	scale := core.SmallScale()
@@ -37,6 +40,7 @@ func main() {
 	if *nsites > 0 {
 		scale.Sites = *nsites
 	}
+	scale.Jobs = *jobs
 	var fig6Sites []string
 	if *sitesFlag != "" {
 		fig6Sites = strings.Split(*sitesFlag, ",")
@@ -51,7 +55,7 @@ func main() {
 		"fig3b":    func() *core.Table { return core.Fig3bPushAmount(scale) },
 		"types":    func() *core.Table { return core.PushByTypeAnalysis(scale) },
 		"fig4":     func() *core.Table { return core.Fig4Synthetic(scale) },
-		"fig5":     func() *core.Table { return core.Fig5Interleaving(scale.Runs, scale.Seed) },
+		"fig5":     func() *core.Table { return core.Fig5Interleaving(scale.Runs, scale.Seed, scale.Jobs) },
 		"fig6":     func() *core.Table { return core.Fig6Popular(fig6Sites, scale) },
 	}
 	order := []string{"fig1", "fig2a", "fig2b", "pushable", "fig3a", "fig3b", "types", "fig4", "fig5", "fig6"}

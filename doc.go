@@ -20,7 +20,7 @@
 //   - internal/core: the testbed orchestration plus one experiment driver
 //     per figure/table of the evaluation.
 //
-// See README.md for usage, DESIGN.md for the system inventory and
-// substitutions, and EXPERIMENTS.md for paper-vs-measured results.
-// bench_test.go regenerates every figure: go test -bench=. -benchmem.
+// See README.md for building, running the experiment drivers
+// (cmd/pushbench) and benchmarking. bench_test.go regenerates every
+// figure: go test -bench=. -benchmem.
 package repro

@@ -38,5 +38,5 @@ func main() {
 			float64(ev.MedianSI)/1e6,
 			ev.BytesPushed/1024)
 	}
-	fmt.Println("\n(Δ<0 vs 'no push' means the strategy helped; see EXPERIMENTS.md)")
+	fmt.Println("\n(Δ<0 vs 'no push' means the strategy helped; see README.md)")
 }

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The experiment engine fans independent (site, strategy, run) units of
+// work across a bounded worker pool. Determinism is preserved by
+// construction: every unit writes its result into a slot addressed by
+// its input index, and aggregation always walks slots in index order, so
+// the output is byte-identical no matter how many workers ran or how
+// their completions interleaved.
+
+// jobCount resolves a Jobs knob: <=0 means one worker per available CPU
+// (GOMAXPROCS), 1 means strictly sequential, n means n workers.
+func jobCount(jobs int) int {
+	if jobs <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return jobs
+}
+
+// forEach runs fn(i) for every i in [0,n) using up to jobs workers
+// (jobCount semantics). Each index is executed exactly once. With one
+// worker the indices run in order on the calling goroutine — the
+// sequential reference path. fn must not depend on execution order and
+// must publish its result into an index-addressed slot.
+func forEach(n, jobs int, fn func(i int)) {
+	workers := jobCount(jobs)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// collect runs fn over [0,n) in parallel and returns the results in
+// index order.
+func collect[T any](n, jobs int, fn func(i int) T) []T {
+	out := make([]T, n)
+	forEach(n, jobs, func(i int) { out[i] = fn(i) })
+	return out
+}

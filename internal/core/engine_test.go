@@ -1,0 +1,129 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/replay"
+	"repro/internal/strategy"
+)
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, jobs := range []int{1, 2, 7, 0} {
+		hits := make([]int, 100)
+		forEach(len(hits), jobs, func(i int) { hits[i]++ })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("jobs=%d: index %d executed %d times", jobs, i, h)
+			}
+		}
+	}
+}
+
+// TestEvaluateParallelMatchesSequential is the engine's core contract: a
+// parallel evaluation must be indistinguishable from the sequential one,
+// down to the order of the collected per-run samples.
+func TestEvaluateParallelMatchesSequential(t *testing.T) {
+	site := corpus.Generate(corpus.RandomProfile(), 4, 5)
+	seq := NewTestbed()
+	seq.Runs = 5
+	seq.Jobs = 1
+	par := NewTestbed()
+	par.Runs = 5
+	par.Jobs = 4
+	evSeq := seq.Evaluate(site, replay.NoPush(), "x")
+	evPar := par.Evaluate(site, replay.NoPush(), "x")
+	if evSeq.MedianPLT != evPar.MedianPLT || evSeq.MedianSI != evPar.MedianSI ||
+		evSeq.BytesPushed != evPar.BytesPushed || evSeq.Completed != evPar.Completed {
+		t.Fatalf("summary diverged: %+v vs %+v", evSeq, evPar)
+	}
+	for i := range evSeq.PLT.Values {
+		if evSeq.PLT.Values[i] != evPar.PLT.Values[i] {
+			t.Fatalf("run %d PLT diverged: %v vs %v", i, evSeq.PLT.Values[i], evPar.PLT.Values[i])
+		}
+	}
+}
+
+// TestExperimentTablesParallelMatchSequential renders full experiment
+// tables through the sequential (Jobs=1) and parallel (Jobs=4) engine
+// and requires byte-identical output.
+func TestExperimentTablesParallelMatchSequential(t *testing.T) {
+	seq := ExperimentScale{Sites: 3, Runs: 3, Seed: 1, Jobs: 1}
+	par := seq
+	par.Jobs = 4
+	for _, tc := range []struct {
+		name string
+		run  func(ExperimentScale) *Table
+	}{
+		{"fig2b", Fig2bPushVsNoPush},
+		{"fig6", func(sc ExperimentScale) *Table {
+			return Fig6Popular([]string{"w1", "w2"}, sc)
+		}},
+		{"fig5", func(sc ExperimentScale) *Table {
+			return Fig5Interleaving(sc.Runs, sc.Seed, sc.Jobs)
+		}},
+	} {
+		a := tc.run(seq).String()
+		b := tc.run(par).String()
+		if a != b {
+			t.Errorf("%s: parallel table differs from sequential:\n--- jobs=1 ---\n%s--- jobs=4 ---\n%s", tc.name, a, b)
+		}
+	}
+}
+
+// TestTraceParallelMatchesSequential checks the dependency-tracing step
+// records identical request orders under the pool.
+func TestTraceParallelMatchesSequential(t *testing.T) {
+	site := corpus.Generate(corpus.RandomProfile(), 6, 5)
+	seq := NewTestbed()
+	seq.Jobs = 1
+	par := NewTestbed()
+	par.Jobs = 3
+	a := seq.Trace(site, 4)
+	b := par.Trace(site, 4)
+	if len(a.Orders) != len(b.Orders) {
+		t.Fatalf("order counts: %d vs %d", len(a.Orders), len(b.Orders))
+	}
+	for i := range a.Orders {
+		if len(a.Orders[i]) != len(b.Orders[i]) {
+			t.Fatalf("order %d lengths differ", i)
+		}
+		for j := range a.Orders[i] {
+			if a.Orders[i][j] != b.Orders[i][j] {
+				t.Fatalf("order %d diverged at %d: %q vs %q", i, j, a.Orders[i][j], b.Orders[i][j])
+			}
+		}
+	}
+}
+
+// TestEvaluateStrategyConcurrentSafe evaluates push and no-push
+// strategies concurrently on one shared Testbed; under -race this fails
+// if EvaluateStrategy still mutates the receiver.
+func TestEvaluateStrategyConcurrentSafe(t *testing.T) {
+	site := corpus.SyntheticSites()[1] // s2: small single-server blog
+	tb := NewTestbed()
+	tb.Runs = 2
+	strategies := []strategy.Strategy{
+		strategy.NoPush{}, strategy.PushAll{}, strategy.NoPush{}, strategy.PushAll{},
+	}
+	evs := make([]*Evaluation, len(strategies))
+	var wg sync.WaitGroup
+	for i, st := range strategies {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			evs[i] = tb.EvaluateStrategy(site, st, nil)
+		}()
+	}
+	wg.Wait()
+	if evs[0].BytesPushed != 0 || evs[2].BytesPushed != 0 {
+		t.Fatal("no-push evaluation pushed bytes: receiver config leaked across goroutines")
+	}
+	if evs[1].BytesPushed == 0 || evs[3].BytesPushed == 0 {
+		t.Fatal("push-all evaluation pushed nothing")
+	}
+	if !tb.Browser.EnablePush {
+		t.Fatal("shared testbed config was mutated")
+	}
+}

@@ -54,6 +54,10 @@ type ExperimentScale struct {
 	Sites int // sites per set (paper: 100)
 	Runs  int // repetitions per configuration (paper: 31)
 	Seed  int64
+	// Jobs is the experiment engine's worker-pool size: <=0 uses
+	// GOMAXPROCS, 1 runs strictly sequentially. Tables are byte-identical
+	// for any value (results are collected in input order).
+	Jobs int
 }
 
 // SmallScale is used by unit tests and benchmarks.
@@ -61,6 +65,31 @@ func SmallScale() ExperimentScale { return ExperimentScale{Sites: 12, Runs: 5, S
 
 // PaperScale matches the paper's configuration.
 func PaperScale() ExperimentScale { return ExperimentScale{Sites: 100, Runs: 31, Seed: 1} }
+
+// newTestbed builds the per-site testbed a driver fans work onto.
+// outerN is the width of the driver's site-level fan-out; the run-level
+// pool inside Evaluate/Trace gets the leftover parallelism so the
+// number of in-flight simulations stays near the configured pool size
+// instead of multiplying to outerWorkers x GOMAXPROCS.
+func (sc ExperimentScale) newTestbed(outerN int) *Testbed {
+	tb := NewTestbed()
+	tb.Runs = sc.Runs
+	tb.Jobs = innerJobs(sc.Jobs, outerN)
+	return tb
+}
+
+// innerJobs divides a pool of jobs workers (jobCount semantics) among
+// outerN concurrent outer tasks, granting each at least one worker.
+func innerJobs(jobs, outerN int) int {
+	w := jobCount(jobs)
+	if outerN < 1 {
+		outerN = 1
+	}
+	if outerN > w {
+		outerN = w
+	}
+	return (w + outerN - 1) / outerN
+}
 
 // --- Fig. 1: adoption of H2 and Server Push over one year ---
 
@@ -91,17 +120,18 @@ func Fig1Adoption(n int, seed int64) *Table {
 func Fig2aVariability(scale ExperimentScale) *Table {
 	sites := corpus.GenerateSet(corpus.RandomProfile(), scale.Sites, scale.Seed)
 	type cell struct{ plt, si []float64 }
-	collect := func(mode Mode, push bool) cell {
-		var c cell
-		for _, site := range sites {
-			tb := NewTestbed()
-			tb.Runs = scale.Runs
+	run := func(mode Mode, push bool) cell {
+		evs := collect(len(sites), scale.Jobs, func(i int) *Evaluation {
+			tb := scale.newTestbed(len(sites))
 			tb.Mode = mode
 			var st strategy.Strategy = strategy.NoPush{}
 			if push {
 				st = strategy.PushAll{}
 			}
-			ev := tb.EvaluateStrategy(site, st, nil)
+			return tb.EvaluateStrategy(sites[i], st, nil)
+		})
+		var c cell
+		for _, ev := range evs {
 			c.plt = append(c.plt, float64(ev.PLT.StdErr())/float64(time.Millisecond))
 			c.si = append(c.si, float64(ev.SI.StdErr())/float64(time.Millisecond))
 		}
@@ -122,7 +152,7 @@ func Fig2aVariability(scale ExperimentScale) *Table {
 		{"push (Inet)", ModeInternet, true},
 		{"no push (Inet)", ModeInternet, false},
 	} {
-		c := collect(cfg.mode, cfg.push)
+		c := run(cfg.mode, cfg.push)
 		med := metrics.CDF(c.plt)[len(c.plt)/2].Value
 		t.Rows = append(t.Rows, []string{
 			cfg.name,
@@ -142,17 +172,24 @@ func Fig2aVariability(scale ExperimentScale) *Table {
 // and returns per-site median deltas in milliseconds (negative = push
 // better).
 func deltaVsNoPush(sites []*replay.Site, st strategy.Strategy, scale ExperimentScale, trace bool) (dPLT, dSI []float64) {
-	for _, site := range sites {
-		tb := NewTestbed()
-		tb.Runs = scale.Runs
+	type delta struct{ plt, si float64 }
+	deltas := collect(len(sites), scale.Jobs, func(i int) delta {
+		site := sites[i]
+		tb := scale.newTestbed(len(sites))
 		var tr *strategy.Trace
 		if trace {
 			tr = tb.Trace(site, minInt(5, scale.Runs))
 		}
 		baseEv := tb.EvaluateStrategy(site, strategy.NoPush{}, nil)
 		ev := tb.EvaluateStrategy(site, st, tr)
-		dPLT = append(dPLT, float64(ev.MedianPLT-baseEv.MedianPLT)/float64(time.Millisecond))
-		dSI = append(dSI, float64(ev.MedianSI-baseEv.MedianSI)/float64(time.Millisecond))
+		return delta{
+			plt: float64(ev.MedianPLT-baseEv.MedianPLT) / float64(time.Millisecond),
+			si:  float64(ev.MedianSI-baseEv.MedianSI) / float64(time.Millisecond),
+		}
+	})
+	for _, d := range deltas {
+		dPLT = append(dPLT, d.plt)
+		dSI = append(dSI, d.si)
 	}
 	return
 }
@@ -307,13 +344,15 @@ func Fig4Synthetic(scale ExperimentScale) *Table {
 		Header: []string{"site", "strategy", "dPLT (ms)", "dSI (ms)", "95% CI (ms)", "KB pushed"},
 		Notes:  []string{"paper: custom pushes far fewer bytes for comparable gains (s1: 309KB vs 1057KB)"},
 	}
-	for _, site := range corpus.SyntheticSites() {
-		tb := NewTestbed()
-		tb.Runs = scale.Runs
+	sites := corpus.SyntheticSites()
+	rowsBySite := collect(len(sites), scale.Jobs, func(i int) [][]string {
+		site := sites[i]
+		tb := scale.newTestbed(len(sites))
 		baseEv := tb.EvaluateStrategy(site, strategy.NoPush{}, nil)
+		var rows [][]string
 		for _, st := range []strategy.Strategy{strategy.PushAll{}, strategy.PushCritical{}} {
 			ev := tb.EvaluateStrategy(site, st, nil)
-			t.Rows = append(t.Rows, []string{
+			rows = append(rows, []string{
 				site.Name, st.Name(),
 				fmt.Sprintf("%.0f", float64(ev.PLT.Mean()-baseEv.PLT.Mean())/1e6),
 				fmt.Sprintf("%.0f", float64(ev.SI.Mean()-baseEv.SI.Mean())/1e6),
@@ -321,6 +360,10 @@ func Fig4Synthetic(scale ExperimentScale) *Table {
 				fmt.Sprintf("%d", ev.BytesPushed/1024),
 			})
 		}
+		return rows
+	})
+	for _, rows := range rowsBySite {
+		t.Rows = append(t.Rows, rows...)
 	}
 	return t
 }
@@ -329,14 +372,16 @@ func Fig4Synthetic(scale ExperimentScale) *Table {
 
 // Fig5Interleaving builds the paper's test page (CSS in head, body text
 // varied from 10 to 90 KB) and compares no push, plain push and
-// interleaving push.
-func Fig5Interleaving(runs int, seed int64) *Table {
+// interleaving push. jobs sizes the worker pool (jobCount semantics).
+func Fig5Interleaving(runs int, seed int64, jobs int) *Table {
 	t := &Table{
 		Title:  "Fig 5b: SpeedIndex vs HTML size for no push / push / interleaving",
 		Header: []string{"html KB", "no push SI (ms)", "push SI (ms)", "interleaving SI (ms)"},
 		Notes:  []string{"paper: no push and push grow with HTML size; interleaving stays flat and fastest"},
 	}
-	for kb := 10; kb <= 90; kb += 10 {
+	sizes := []int{10, 20, 30, 40, 50, 60, 70, 80, 90}
+	t.Rows = collect(len(sizes), jobs, func(i int) []string {
+		kb := sizes[i]
 		b := corpus.NewPage("fig5.test")
 		b.CSS("/style.css", corpus.SimpleCSS([]string{"hero", "body-text"}, 120))
 		b.Div("hero", 200)
@@ -351,6 +396,7 @@ func Fig5Interleaving(runs int, seed int64) *Table {
 		tb := NewTestbed()
 		tb.Runs = runs
 		tb.Seed = seed
+		tb.Jobs = innerJobs(jobs, len(sizes))
 		noPushCfg := *tb
 		noPushCfg.Browser.EnablePush = false
 		evNo := noPushCfg.Evaluate(site, replay.NoPush(), "no push")
@@ -358,10 +404,10 @@ func Fig5Interleaving(runs int, seed int64) *Table {
 		evInt := tb.Evaluate(site, replay.PushList(base, cssURL).
 			WithInterleave(base, replay.InterleaveSpec{OffsetBytes: 4096, Critical: []string{cssURL}}),
 			"interleaving")
-		t.Rows = append(t.Rows, []string{
+		return []string{
 			fmt.Sprint(kb), ms(evNo.MedianSI), ms(evPush.MedianSI), ms(evInt.MedianSI),
-		})
-	}
+		}
+	})
 	return t
 }
 
@@ -394,15 +440,15 @@ func Fig6Popular(ids []string, scale ExperimentScale) *Table {
 			"w7/w8 limited by blocking JS, w9 favours push all, w10 image contention, w17 dilution",
 		},
 	}
-	for _, id := range ids {
-		site := corpus.PopularSite(id)
+	rowsBySite := collect(len(ids), scale.Jobs, func(i int) [][]string {
+		site := corpus.PopularSite(ids[i])
 		if site == nil {
-			continue
+			return nil
 		}
-		tb := NewTestbed()
-		tb.Runs = scale.Runs
+		tb := scale.newTestbed(len(ids))
 		tr := tb.Trace(site, minInt(5, scale.Runs))
 		baseEv := tb.EvaluateStrategy(site, strategy.NoPush{}, nil)
+		var rows [][]string
 		for _, st := range PopularStrategies() {
 			if _, ok := st.(strategy.NoPush); ok {
 				continue
@@ -410,13 +456,17 @@ func Fig6Popular(ids []string, scale ExperimentScale) *Table {
 			ev := tb.EvaluateStrategy(site, st, tr)
 			dSI := metrics.RelChange(ev.SI.Mean(), baseEv.SI.Mean())
 			dPLT := metrics.RelChange(ev.PLT.Mean(), baseEv.PLT.Mean())
-			t.Rows = append(t.Rows, []string{
-				id, st.Name(),
+			rows = append(rows, []string{
+				ids[i], st.Name(),
 				pct(dSI), pct(dPLT),
 				ms(ev.SI.CI(0.995)),
 				fmt.Sprintf("%d", ev.BytesPushed/1024),
 			})
 		}
+		return rows
+	})
+	for _, rows := range rowsBySite {
+		t.Rows = append(t.Rows, rows...)
 	}
 	return t
 }

@@ -39,6 +39,11 @@ type Testbed struct {
 	Runs    int
 	Seed    int64
 	Mode    Mode
+	// Jobs bounds the worker pool Evaluate and Trace fan their runs
+	// across: <=0 uses GOMAXPROCS, 1 is strictly sequential. Every run
+	// builds its own simulator from a per-run seed and results are
+	// collected in run order, so output is identical for any value.
+	Jobs int
 }
 
 // NewTestbed returns the paper's configuration: DSL link, 31 runs.
@@ -134,12 +139,17 @@ type Evaluation struct {
 	Completed   int
 }
 
-// Evaluate runs site under plan tb.Runs times.
+// Evaluate runs site under plan tb.Runs times, fanning the runs across
+// tb.Jobs workers. Each run is self-contained (own simulator, network
+// and farm, seeded from the run index) and results are aggregated in
+// run order, so the output matches the sequential path exactly.
 func (tb *Testbed) Evaluate(site *replay.Site, plan replay.Plan, name string) *Evaluation {
 	ev := &Evaluation{Site: site.Name, Strategy: name}
-	var pushed []int64
-	for i := 0; i < tb.Runs; i++ {
-		r := tb.RunOnce(site, plan, i)
+	results := collect(tb.Runs, tb.Jobs, func(i int) *RunResult {
+		return tb.RunOnce(site, plan, i)
+	})
+	pushed := make([]int64, 0, len(results))
+	for _, r := range results {
 		ev.PLT.Add(r.PLT)
 		ev.SI.Add(r.SpeedIndex)
 		pushed = append(pushed, r.WireBytesPushed)
@@ -149,37 +159,34 @@ func (tb *Testbed) Evaluate(site *replay.Site, plan replay.Plan, name string) *E
 	}
 	ev.MedianPLT = ev.PLT.Median()
 	ev.MedianSI = ev.SI.Median()
-	if len(pushed) > 0 {
-		ev.BytesPushed = pushed[len(pushed)/2]
-	}
+	ev.BytesPushed = metrics.MedianInt64(pushed)
 	return ev
 }
 
 // EvaluateStrategy applies a strategy (site rewrite + plan) and runs it.
+// The receiver is never mutated: baseline strategies that disable push
+// act on a per-call copy of the testbed, so concurrent evaluations on a
+// shared Testbed are safe.
 func (tb *Testbed) EvaluateStrategy(site *replay.Site, st strategy.Strategy, tr *strategy.Trace) *Evaluation {
 	runSite, plan := st.Apply(site, tr)
-	cfg := tb.Browser
-	defer func() { tb.Browser = cfg }()
-	if _, isNoPush := st.(strategy.NoPush); isNoPush {
-		tb.Browser.EnablePush = false
+	run := *tb
+	switch st.(type) {
+	case strategy.NoPush, strategy.NoPushOptimized:
+		run.Browser.EnablePush = false
 	}
-	if _, isNoPushOpt := st.(strategy.NoPushOptimized); isNoPushOpt {
-		tb.Browser.EnablePush = false
-	}
-	return tb.Evaluate(runSite, plan, st.Name())
+	return run.Evaluate(runSite, plan, st.Name())
 }
 
 // Trace performs the paper's dependency-tracing step (Sec. 4.2): load
 // the site without push `runs` times and record the subresource request
-// orders for the majority vote.
+// orders for the majority vote. Like EvaluateStrategy it works on a
+// per-call copy of the testbed and fans the trace loads across workers.
 func (tb *Testbed) Trace(site *replay.Site, runs int) *strategy.Trace {
-	saved := tb.Browser.EnablePush
-	tb.Browser.EnablePush = false
-	defer func() { tb.Browser.EnablePush = saved }()
-	tr := &strategy.Trace{}
+	probe := *tb
+	probe.Browser.EnablePush = false
 	base := site.Base.String()
-	for i := 0; i < runs; i++ {
-		r := tb.RunOnce(site, replay.NoPush(), 1000+i)
+	orders := collect(runs, tb.Jobs, func(i int) []string {
+		r := probe.RunOnce(site, replay.NoPush(), 1000+i)
 		var order []string
 		for _, t := range r.Timings {
 			if t.URL == base || t.Pushed {
@@ -187,7 +194,7 @@ func (tb *Testbed) Trace(site *replay.Site, runs int) *strategy.Trace {
 			}
 			order = append(order, t.URL)
 		}
-		tr.Orders = append(tr.Orders, order)
-	}
-	return tr
+		return order
+	})
+	return &strategy.Trace{Orders: orders}
 }

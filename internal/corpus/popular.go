@@ -11,7 +11,8 @@ import (
 // paper, w1-w20). The structural features come from the paper's Sec. 5
 // case-study descriptions; sites the paper does not detail get plausible
 // models consistent with their aggregate figures (request counts, server
-// counts). The replay substitution is documented in DESIGN.md.
+// counts). The models replace the paper's recorded Alexa sites, which
+// cannot be redistributed; see README.md.
 type popSpec struct {
 	id, name string
 	htmlKB   int // approximate document size as served

@@ -179,6 +179,22 @@ func zQuantile(p float64) float64 {
 	}
 }
 
+// MedianInt64 returns the median of xs without mutating it, averaging
+// the middle pair for even-length input (same convention as
+// Sample.Median). It returns 0 for an empty slice.
+func MedianInt64(xs []int64) int64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]int64(nil), xs...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
 // CDF returns the empirical CDF of values as sorted (value, fraction<=)
 // points — the figures' per-site delta CDFs.
 type CDFPoint struct {

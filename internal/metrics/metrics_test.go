@@ -181,3 +181,27 @@ func TestSampleEmptySafe(t *testing.T) {
 		t.Fatal("empty sample stats not zero")
 	}
 }
+
+func TestMedianInt64(t *testing.T) {
+	cases := []struct {
+		in   []int64
+		want int64
+	}{
+		{nil, 0},
+		{[]int64{42}, 42},
+		{[]int64{9, 1, 5}, 5},           // unsorted odd
+		{[]int64{7, 1, 3, 9}, 5},        // unsorted even: (3+7)/2
+		{[]int64{100, 2, 2, 2, 100}, 2}, // duplicates
+	}
+	for _, c := range cases {
+		if got := MedianInt64(c.in); got != c.want {
+			t.Errorf("MedianInt64(%v) = %d, want %d", c.in, got, c.want)
+		}
+	}
+	// Input must not be mutated.
+	in := []int64{3, 1, 2}
+	MedianInt64(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Fatalf("input mutated: %v", in)
+	}
+}
