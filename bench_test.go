@@ -183,6 +183,34 @@ func BenchmarkFig6Interleaving(b *testing.B) {
 	report("w7", "push critical optimized", "w7_crit_opt_dsi_pct")
 }
 
+// BenchmarkScenarioSweep regenerates the cross-scenario strategy
+// comparison on two contrasting links (the paper's DSL and satellite).
+func BenchmarkScenarioSweep(b *testing.B) {
+	var tabs []*core.Table
+	sc := core.ExperimentScale{Sites: 2, Runs: 3, Seed: 1, Jobs: 0}
+	for i := 0; i < b.N; i++ {
+		var err error
+		tabs, err = core.ScenarioSweepNames([]string{"dsl", "satellite"}, sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Median dSI of "push critical optimized" per scenario: the sweep's
+	// headline — how much more push matters at a 600 ms RTT.
+	for i, name := range []string{"dsl", "satellite"} {
+		found := false
+		for r, row := range tabs[i].Rows {
+			if row[0] == "push critical optimized" {
+				b.ReportMetric(numCell(b, tabs[i], r, 3), name+"_crit_opt_median_dsi_ms")
+				found = true
+			}
+		}
+		if !found {
+			b.Fatalf("push critical optimized row missing from %s table", name)
+		}
+	}
+}
+
 // --- ablations of the testbed's modelling choices ---
 
 // BenchmarkAblationPreloadScanner measures the preload scanner's effect
@@ -252,7 +280,7 @@ func BenchmarkAblationInitialCwnd(b *testing.B) {
 		for _, iw := range []int{4, 10, 32} {
 			tb := core.NewTestbed()
 			tb.Runs = 3
-			tb.Profile.InitialCwnd = iw
+			tb.Scenario.Profile.InitialCwnd = iw
 			ev := tb.Evaluate(site, replay.NoPush(), "iw")
 			res[iw] = ev.MedianPLT
 		}

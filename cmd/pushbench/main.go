@@ -9,6 +9,14 @@
 //	pushbench -exp fig3a -scale paper  # paper scale (100 sites, 31 runs)
 //	pushbench -exp all -jobs 8         # fan runs/sites across 8 workers
 //	pushbench -exp all -jobs 1         # strictly sequential (same output)
+//
+// The cross-scenario sweep re-runs the strategy comparison under every
+// named network scenario (or a chosen subset):
+//
+//	pushbench -experiment scenarios                    # all scenarios
+//	pushbench -experiment scenarios -scenario lte,3g   # just these links
+//
+// -experiment is an alias for -exp.
 package main
 
 import (
@@ -18,12 +26,16 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/scenario"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig1|fig2a|fig2b|pushable|fig3a|fig3b|types|fig4|fig5|fig6|all")
+	var exp string
+	flag.StringVar(&exp, "exp", "all", "experiment: fig1|fig2a|fig2b|pushable|fig3a|fig3b|types|fig4|fig5|fig6|scenarios|all")
+	flag.StringVar(&exp, "experiment", "all", "alias for -exp")
 	scaleName := flag.String("scale", "small", "small|paper")
 	sitesFlag := flag.String("sites", "", "comma-separated w-site ids for fig6 (default all)")
+	scenarioFlag := flag.String("scenario", "all", "comma-separated scenario names for -experiment scenarios (all, or any of: "+strings.Join(scenario.Names(), ", ")+")")
 	runs := flag.Int("runs", 0, "override repetitions per configuration")
 	nsites := flag.Int("nsites", 0, "override sites per set")
 	popN := flag.Int("population", 200_000, "population size for fig1")
@@ -45,31 +57,58 @@ func main() {
 	if *sitesFlag != "" {
 		fig6Sites = strings.Split(*sitesFlag, ",")
 	}
-
-	experiments := map[string]func() *core.Table{
-		"fig1":     func() *core.Table { return core.Fig1Adoption(*popN, scale.Seed) },
-		"fig2a":    func() *core.Table { return core.Fig2aVariability(scale) },
-		"fig2b":    func() *core.Table { return core.Fig2bPushVsNoPush(scale) },
-		"pushable": func() *core.Table { return core.PushableObjects(scale) },
-		"fig3a":    func() *core.Table { return core.Fig3aPushAll(scale) },
-		"fig3b":    func() *core.Table { return core.Fig3bPushAmount(scale) },
-		"types":    func() *core.Table { return core.PushByTypeAnalysis(scale) },
-		"fig4":     func() *core.Table { return core.Fig4Synthetic(scale) },
-		"fig5":     func() *core.Table { return core.Fig5Interleaving(scale.Runs, scale.Seed, scale.Jobs) },
-		"fig6":     func() *core.Table { return core.Fig6Popular(fig6Sites, scale) },
+	// Resolve scenario names eagerly so a typo fails before any
+	// experiment runs — not minutes in, after earlier tables printed.
+	scenarios := scenario.All()
+	if *scenarioFlag != "" && *scenarioFlag != "all" {
+		scenarios = scenarios[:0]
+		for _, n := range strings.Split(*scenarioFlag, ",") {
+			sc, err := scenario.ByName(n)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			scenarios = append(scenarios, sc)
+		}
 	}
-	order := []string{"fig1", "fig2a", "fig2b", "pushable", "fig3a", "fig3b", "types", "fig4", "fig5", "fig6"}
 
-	if *exp == "all" {
+	one := func(t *core.Table) []*core.Table { return []*core.Table{t} }
+	experiments := map[string]func() []*core.Table{
+		"fig1":     func() []*core.Table { return one(core.Fig1Adoption(*popN, scale.Seed)) },
+		"fig2a":    func() []*core.Table { return one(core.Fig2aVariability(scale)) },
+		"fig2b":    func() []*core.Table { return one(core.Fig2bPushVsNoPush(scale)) },
+		"pushable": func() []*core.Table { return one(core.PushableObjects(scale)) },
+		"fig3a":    func() []*core.Table { return one(core.Fig3aPushAll(scale)) },
+		"fig3b":    func() []*core.Table { return one(core.Fig3bPushAmount(scale)) },
+		"types":    func() []*core.Table { return one(core.PushByTypeAnalysis(scale)) },
+		"fig4":     func() []*core.Table { return one(core.Fig4Synthetic(scale)) },
+		"fig5":     func() []*core.Table { return one(core.Fig5Interleaving(scale.Runs, scale.Seed, scale.Jobs)) },
+		"fig6":     func() []*core.Table { return one(core.Fig6Popular(fig6Sites, scale)) },
+		"scenarios": func() []*core.Table {
+			tabs, err := core.ScenarioSweep(scenarios, scale)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			return tabs
+		},
+	}
+	order := []string{"fig1", "fig2a", "fig2b", "pushable", "fig3a", "fig3b", "types", "fig4", "fig5", "fig6", "scenarios"}
+
+	if exp == "all" {
 		for _, name := range order {
-			experiments[name]().Print(os.Stdout)
+			for _, t := range experiments[name]() {
+				t.Print(os.Stdout)
+			}
 		}
 		return
 	}
-	fn, ok := experiments[*exp]
+	fn, ok := experiments[exp]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (have: %s, all)\n", *exp, strings.Join(order, ", "))
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (have: %s, all)\n", exp, strings.Join(order, ", "))
 		os.Exit(2)
 	}
-	fn().Print(os.Stdout)
+	for _, t := range fn() {
+		t.Print(os.Stdout)
+	}
 }

@@ -10,15 +10,23 @@
 //     push schedulers) that runs both inside a discrete-event simulator
 //     and over real net.Conn transports;
 //   - internal/sim + internal/netem: the virtual clock and the emulated
-//     DSL access network (16/1 Mbit/s, 50 ms RTT);
+//     access network (the paper's 16/1 Mbit/s, 50 ms DSL link by
+//     default);
+//   - internal/scenario: composable measurement scenarios — a named
+//     netem.Profile plus a run-to-run variability model (network
+//     jitter, loss, server think time, third-party content scaling,
+//     client compute jitter) with deterministic per-run derivation;
+//     ships the named library (dsl, internet, fiber, cable, lte, 3g,
+//     wifi-lossy, satellite) the cross-scenario sweep iterates over;
 //   - internal/replay: the Mahimahi-style record database, recording
 //     proxy/crawler, and per-IP replay servers with SAN coalescing;
 //   - internal/browser: the deterministic browser model (preload scanner,
 //     critical rendering path, layout, paint timeline);
 //   - internal/strategy: all push strategies from the paper, critical-CSS
 //     extraction and majority-vote push ordering;
-//   - internal/core: the testbed orchestration plus one experiment driver
-//     per figure/table of the evaluation.
+//   - internal/core: the testbed orchestration, the parallel experiment
+//     engine, one experiment driver per figure/table of the evaluation,
+//     and the cross-scenario strategy sweep (ScenarioSweep).
 //
 // See README.md for building, running the experiment drivers
 // (cmd/pushbench) and benchmarking. bench_test.go regenerates every

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/corpus"
 	"repro/internal/replay"
+	"repro/internal/scenario"
 	"repro/internal/strategy"
 )
 
@@ -32,7 +33,7 @@ func TestTestbedVsInternetVariability(t *testing.T) {
 	tb := NewTestbed()
 	tb.Runs = 9
 	evTB := tb.Evaluate(site, replay.NoPush(), "tb")
-	tb.Mode = ModeInternet
+	tb.SetMode(ModeInternet) // deprecated shim over scenario.Internet()
 	evNet := tb.Evaluate(site, replay.NoPush(), "inet")
 	if evTB.PLT.StdErr()*3 > evNet.PLT.StdErr() {
 		t.Fatalf("testbed stderr %v not well below Internet stderr %v",
@@ -186,7 +187,7 @@ func TestFig6SingleSite(t *testing.T) {
 func TestScaleThirdPartyPreservesFirstParty(t *testing.T) {
 	site := corpus.Generate(corpus.TopProfile(), 0, 5)
 	tb := NewTestbed()
-	tb.Mode = ModeInternet
+	tb.Scenario = scenario.Internet()
 	r := tb.RunOnce(site, replay.NoPush(), 0)
 	if r.PLT <= 0 {
 		t.Fatalf("internet run PLT = %v", r.PLT)

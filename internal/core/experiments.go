@@ -12,6 +12,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/page"
 	"repro/internal/replay"
+	"repro/internal/scenario"
 	"repro/internal/strategy"
 )
 
@@ -78,6 +79,13 @@ func (sc ExperimentScale) newTestbed(outerN int) *Testbed {
 	return tb
 }
 
+// newTestbedFor is newTestbed under an arbitrary measurement scenario.
+func (sc ExperimentScale) newTestbedFor(scn scenario.Scenario, outerN int) *Testbed {
+	tb := sc.newTestbed(outerN)
+	tb.Scenario = scn
+	return tb
+}
+
 // innerJobs divides a pool of jobs workers (jobCount semantics) among
 // outerN concurrent outer tasks, granting each at least one worker.
 func innerJobs(jobs, outerN int) int {
@@ -116,14 +124,14 @@ func Fig1Adoption(n int, seed int64) *Table {
 // --- Fig. 2a: testbed vs Internet variability ---
 
 // Fig2aVariability compares the per-site standard error of PLT and
-// SpeedIndex between testbed and Internet modes, with and without push.
+// SpeedIndex between the controlled DSL scenario and the Internet
+// scenario, with and without push.
 func Fig2aVariability(scale ExperimentScale) *Table {
 	sites := corpus.GenerateSet(corpus.RandomProfile(), scale.Sites, scale.Seed)
 	type cell struct{ plt, si []float64 }
-	run := func(mode Mode, push bool) cell {
+	run := func(scn scenario.Scenario, push bool) cell {
 		evs := collect(len(sites), scale.Jobs, func(i int) *Evaluation {
-			tb := scale.newTestbed(len(sites))
-			tb.Mode = mode
+			tb := scale.newTestbedFor(scn, len(sites))
 			var st strategy.Strategy = strategy.NoPush{}
 			if push {
 				st = strategy.PushAll{}
@@ -144,23 +152,22 @@ func Fig2aVariability(scale ExperimentScale) *Table {
 	}
 	for _, cfg := range []struct {
 		name string
-		mode Mode
+		scn  scenario.Scenario
 		push bool
 	}{
-		{"push (tb)", ModeTestbed, true},
-		{"no push (tb)", ModeTestbed, false},
-		{"push (Inet)", ModeInternet, true},
-		{"no push (Inet)", ModeInternet, false},
+		{"push (tb)", scenario.DSL(), true},
+		{"no push (tb)", scenario.DSL(), false},
+		{"push (Inet)", scenario.Internet(), true},
+		{"no push (Inet)", scenario.Internet(), false},
 	} {
-		c := run(cfg.mode, cfg.push)
-		med := metrics.CDF(c.plt)[len(c.plt)/2].Value
+		c := run(cfg.scn, cfg.push)
 		t.Rows = append(t.Rows, []string{
 			cfg.name,
 			pct(metrics.FractionBelow(c.plt, 50)),
 			pct(metrics.FractionBelow(c.plt, 100)),
 			pct(metrics.FractionBelow(c.si, 50)),
 			pct(metrics.FractionBelow(c.si, 100)),
-			fmt.Sprintf("%.1f", med),
+			fmt.Sprintf("%.1f", metrics.MedianFloat64(c.plt)),
 		})
 	}
 	return t
@@ -178,7 +185,7 @@ func deltaVsNoPush(sites []*replay.Site, st strategy.Strategy, scale ExperimentS
 		tb := scale.newTestbed(len(sites))
 		var tr *strategy.Trace
 		if trace {
-			tr = tb.Trace(site, minInt(5, scale.Runs))
+			tr = tb.Trace(site, min(5, scale.Runs))
 		}
 		baseEv := tb.EvaluateStrategy(site, strategy.NoPush{}, nil)
 		ev := tb.EvaluateStrategy(site, st, tr)
@@ -205,7 +212,7 @@ func Fig2bPushVsNoPush(scale ExperimentScale) *Table {
 		Notes:  []string{"paper: no PLT benefit for 49% of sites, no SpeedIndex benefit for 35%"},
 	}
 	add := func(name string, xs []float64) {
-		med := metrics.CDF(xs)[len(xs)/2].Value
+		med := metrics.MedianFloat64(xs)
 		imp := metrics.FractionBelow(xs, 0)
 		t.Rows = append(t.Rows, []string{name, pct(imp), pct(1 - imp), fmt.Sprintf("%.1f", med)})
 	}
@@ -232,7 +239,7 @@ func PushableObjects(scale ExperimentScale) *Table {
 				low++
 			}
 		}
-		med := metrics.CDF(fracs)[len(fracs)/2].Value
+		med := metrics.MedianFloat64(fracs)
 		t.Rows = append(t.Rows, []string{
 			prof.Name, fmt.Sprint(len(sites)),
 			pct(float64(low) / float64(len(sites))), pct(med),
@@ -255,8 +262,8 @@ func Fig3aPushAll(scale ExperimentScale) *Table {
 			prof.Name,
 			pct(metrics.FractionBelow(dSI, 0)),
 			pct(metrics.FractionBelow(dPLT, 0)),
-			fmt.Sprintf("%.1f", metrics.CDF(dSI)[len(dSI)/2].Value),
-			fmt.Sprintf("%.1f", metrics.CDF(dPLT)[len(dPLT)/2].Value),
+			fmt.Sprintf("%.1f", metrics.MedianFloat64(dSI)),
+			fmt.Sprintf("%.1f", metrics.MedianFloat64(dPLT)),
 		})
 	}
 	return t
@@ -283,8 +290,8 @@ func Fig3bPushAmount(scale ExperimentScale) *Table {
 			st.Name(),
 			pct(metrics.FractionBelow(dPLT, 0)),
 			pct(metrics.FractionBelow(dSI, 0)),
-			fmt.Sprintf("%.1f", metrics.CDF(dPLT)[len(dPLT)/2].Value),
-			fmt.Sprintf("%.1f", metrics.CDF(dSI)[len(dSI)/2].Value),
+			fmt.Sprintf("%.1f", metrics.MedianFloat64(dPLT)),
+			fmt.Sprintf("%.1f", metrics.MedianFloat64(dSI)),
 		})
 	}
 	return t
@@ -320,7 +327,7 @@ func PushByTypeAnalysis(scale ExperimentScale) *Table {
 			st.Name(),
 			pct(metrics.FractionBelow(dSI, 0)),
 			pct(1 - metrics.FractionBelow(dSI, 0)),
-			fmt.Sprintf("%.1f", metrics.CDF(dSI)[len(dSI)/2].Value),
+			fmt.Sprintf("%.1f", metrics.MedianFloat64(dSI)),
 		})
 	}
 	// Best-type per site: how many sites improve even with their best
@@ -329,7 +336,7 @@ func PushByTypeAnalysis(scale ExperimentScale) *Table {
 		"best type per site",
 		pct(metrics.FractionBelow(perSiteBest, 0)),
 		pct(1 - metrics.FractionBelow(perSiteBest, 0)),
-		fmt.Sprintf("%.1f", metrics.CDF(perSiteBest)[len(perSiteBest)/2].Value),
+		fmt.Sprintf("%.1f", metrics.MedianFloat64(perSiteBest)),
 	})
 	return t
 }
@@ -446,7 +453,7 @@ func Fig6Popular(ids []string, scale ExperimentScale) *Table {
 			return nil
 		}
 		tb := scale.newTestbed(len(ids))
-		tr := tb.Trace(site, minInt(5, scale.Runs))
+		tr := tb.Trace(site, min(5, scale.Runs))
 		baseEv := tb.EvaluateStrategy(site, strategy.NoPush{}, nil)
 		var rows [][]string
 		for _, st := range PopularStrategies() {
@@ -469,11 +476,4 @@ func Fig6Popular(ids []string, scale ExperimentScale) *Table {
 		t.Rows = append(t.Rows, rows...)
 	}
 	return t
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

@@ -1,24 +1,30 @@
 // Package core is the testbed of the paper: it wires the simulator, the
-// emulated DSL network, the per-IP replay servers and the browser model
-// into reproducible page loads, runs every configuration the evaluation
-// section needs (31 repetitions, testbed vs. "Internet" variability
-// modes, arbitrary push strategies), and implements the experiment
-// drivers that regenerate each figure and table.
+// emulated access network, the per-IP replay servers and the browser
+// model into reproducible page loads, runs every configuration the
+// evaluation section needs (31 repetitions, composable measurement
+// scenarios from internal/scenario, arbitrary push strategies), and
+// implements the experiment drivers that regenerate each figure and
+// table plus the cross-scenario strategy sweep.
 package core
 
 import (
-	"math/rand"
-	"time"
+	"fmt"
 
 	"repro/internal/browser"
 	"repro/internal/metrics"
 	"repro/internal/netem"
 	"repro/internal/replay"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/strategy"
+	"time"
 )
 
 // Mode selects where the measurement notionally runs.
+//
+// Deprecated: Mode survives as a thin shim for older call sites; it is
+// exactly the scenario.DSL / scenario.Internet pair. New code sets
+// Testbed.Scenario directly.
 type Mode int
 
 // Modes.
@@ -32,13 +38,23 @@ const (
 	ModeInternet
 )
 
-// Testbed runs page loads under controlled conditions.
+// Scenario translates the legacy mode onto the scenario subsystem.
+func (m Mode) Scenario() scenario.Scenario {
+	if m == ModeInternet {
+		return scenario.Internet()
+	}
+	return scenario.DSL()
+}
+
+// Testbed runs page loads under one measurement scenario.
 type Testbed struct {
-	Profile netem.Profile
-	Browser browser.Config
-	Runs    int
-	Seed    int64
-	Mode    Mode
+	// Scenario is the measurement condition: the emulated access link
+	// plus the run-to-run variability model. All per-run perturbation is
+	// derived from it; the testbed itself holds no perturbation logic.
+	Scenario scenario.Scenario
+	Browser  browser.Config
+	Runs     int
+	Seed     int64
 	// Jobs bounds the worker pool Evaluate and Trace fan their runs
 	// across: <=0 uses GOMAXPROCS, 1 is strictly sequential. Every run
 	// builds its own simulator from a per-run seed and results are
@@ -49,12 +65,30 @@ type Testbed struct {
 // NewTestbed returns the paper's configuration: DSL link, 31 runs.
 func NewTestbed() *Testbed {
 	return &Testbed{
-		Profile: netem.DSL(),
-		Browser: browser.DefaultConfig(),
-		Runs:    31,
-		Seed:    1,
+		Scenario: scenario.DSL(),
+		Browser:  browser.DefaultConfig(),
+		Runs:     31,
+		Seed:     1,
 	}
 }
+
+// NewTestbedFor builds a testbed for an arbitrary scenario, validating
+// it up front so a nonsensical profile fails fast with a clear error
+// instead of a mid-experiment panic.
+func NewTestbedFor(sc scenario.Scenario) (*Testbed, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, fmt.Errorf("core: invalid scenario: %w", err)
+	}
+	tb := NewTestbed()
+	tb.Scenario = sc
+	return tb, nil
+}
+
+// SetMode is the deprecated Mode shim: it replaces the testbed's
+// scenario with the one the legacy mode names.
+//
+// Deprecated: set Testbed.Scenario directly.
+func (tb *Testbed) SetMode(m Mode) { tb.Scenario = m.Scenario() }
 
 // RunResult couples the browser-side result with server-side stats.
 type RunResult struct {
@@ -63,27 +97,24 @@ type RunResult struct {
 	WirePushCount   int
 }
 
-// RunOnce performs a single page load of site under plan.
+// RunOnce performs a single page load of site under plan. All
+// perturbation — link jitter, loss, server think time, third-party
+// content scaling, client compute jitter — comes from the scenario's
+// deterministic per-run derivation.
 func (tb *Testbed) RunOnce(site *replay.Site, plan replay.Plan, run int) *RunResult {
 	seed := tb.Seed*1_000_003 + int64(run)*7919
+	cond := tb.Scenario.Derive(seed)
 	s := sim.New(seed)
-	prof := tb.Profile
 	cfg := tb.Browser
-	runSite := site
-	if tb.Mode == ModeInternet {
-		jrng := rand.New(rand.NewSource(seed ^ 0x5eed))
-		prof.RTT = time.Duration(float64(prof.RTT) * (0.8 + jrng.Float64()*0.9))
-		prof.DownRate = netem.Rate(float64(prof.DownRate) * (0.6 + jrng.Float64()*0.5))
-		prof.UpRate = netem.Rate(float64(prof.UpRate) * (0.6 + jrng.Float64()*0.5))
-		prof.LossRate = 0.0005 + jrng.Float64()*0.002
-		cfg.JitterFrac = 0.10
-		runSite = scaleThirdParty(site, jrng)
+	switch {
+	case cond.ClientJitterFrac > 0:
+		cfg.JitterFrac = cond.ClientJitterFrac
+	case cond.ClientJitterFrac < 0: // scenario forces a deterministic client
+		cfg.JitterFrac = 0
 	}
-	n := netem.New(s, prof)
-	farm := replay.NewFarm(s, n, runSite, plan)
-	if tb.Mode == ModeInternet {
-		farm.ThinkTime = time.Duration(rand.New(rand.NewSource(seed^0x7417)).Intn(30)) * time.Millisecond
-	}
+	n := netem.New(s, cond.Profile)
+	farm := replay.NewFarm(s, n, cond.ApplySite(site), plan)
+	farm.ThinkTime = cond.ThinkTime
 	ld := browser.New(s, farm, cfg)
 	ld.Start()
 	s.Run()
@@ -91,36 +122,6 @@ func (tb *Testbed) RunOnce(site *replay.Site, plan replay.Plan, run int) *RunRes
 		Result:          ld.Result(),
 		WireBytesPushed: farm.BytesPushed,
 		WirePushCount:   farm.PushCount,
-	}
-}
-
-// scaleThirdParty models dynamic third-party content (ads rotating
-// between loads, Sec. 4): bodies on servers other than the base origin
-// are rescaled randomly per run.
-func scaleThirdParty(site *replay.Site, rng *rand.Rand) *replay.Site {
-	db := replay.NewDB()
-	for _, e := range site.DB.Entries() {
-		if site.Authoritative(site.Base.Authority, e.URL.Authority) {
-			db.Add(e)
-			continue
-		}
-		ne := *e
-		scale := 0.7 + rng.Float64()*0.8
-		n := int(float64(len(e.Body)) * scale)
-		if n < 16 {
-			n = 16
-		}
-		body := make([]byte, n)
-		copy(body, e.Body)
-		for i := len(e.Body); i < n; i++ {
-			body[i] = byte('x')
-		}
-		ne.Body = body
-		db.Add(&ne)
-	}
-	return &replay.Site{
-		Name: site.Name, Base: site.Base, DB: db,
-		IPByHost: site.IPByHost, SANsByIP: site.SANsByIP,
 	}
 }
 

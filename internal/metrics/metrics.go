@@ -9,6 +9,7 @@ package metrics
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 	"time"
 )
@@ -179,21 +180,31 @@ func zQuantile(p float64) float64 {
 	}
 }
 
-// MedianInt64 returns the median of xs without mutating it, averaging
-// the middle pair for even-length input (same convention as
-// Sample.Median). It returns 0 for an empty slice.
-func MedianInt64(xs []int64) int64 {
+// median returns the median of xs without mutating it, averaging the
+// middle pair for even-length input (same convention as Sample.Median).
+// It returns 0 for an empty slice, so experiment drivers stay safe on
+// empty result sets instead of panicking like the old
+// CDF(xs)[len(xs)/2] idiom.
+func median[T interface{ ~int64 | ~float64 }](xs []T) T {
 	if len(xs) == 0 {
 		return 0
 	}
-	s := append([]int64(nil), xs...)
-	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	s := append([]T(nil), xs...)
+	slices.Sort(s)
 	n := len(s)
 	if n%2 == 1 {
 		return s[n/2]
 	}
 	return (s[n/2-1] + s[n/2]) / 2
 }
+
+// MedianInt64 returns the empty-safe median of xs (median semantics
+// above).
+func MedianInt64(xs []int64) int64 { return median(xs) }
+
+// MedianFloat64 returns the empty-safe median of xs (median semantics
+// above).
+func MedianFloat64(xs []float64) float64 { return median(xs) }
 
 // CDF returns the empirical CDF of values as sorted (value, fraction<=)
 // points — the figures' per-site delta CDFs.

@@ -205,3 +205,28 @@ func TestMedianInt64(t *testing.T) {
 		t.Fatalf("input mutated: %v", in)
 	}
 }
+
+func TestMedianFloat64(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, 0}, // empty input is safe, not a panic
+		{[]float64{}, 0},
+		{[]float64{3.5}, 3.5},
+		{[]float64{9, 1, 5}, 5},    // unsorted odd
+		{[]float64{7, 1, 3, 9}, 5}, // unsorted even: (3+7)/2
+		{[]float64{-4, -1, -9, 2}, -2.5},
+	}
+	for _, c := range cases {
+		if got := MedianFloat64(c.in); got != c.want {
+			t.Errorf("MedianFloat64(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	// Input must not be mutated.
+	in := []float64{3, 1, 2}
+	MedianFloat64(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Fatalf("input mutated: %v", in)
+	}
+}

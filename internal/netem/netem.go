@@ -62,7 +62,9 @@ func DSL() Profile {
 	}
 }
 
-// Validate reports whether the profile is internally consistent.
+// Validate reports whether the profile is internally consistent. It is
+// called at testbed construction (and again defensively in New) so a
+// nonsensical scenario profile fails fast with a clear error.
 func (p Profile) Validate() error {
 	switch {
 	case p.DownRate <= 0 || p.UpRate <= 0:
@@ -71,8 +73,17 @@ func (p Profile) Validate() error {
 		return fmt.Errorf("netem: negative RTT %v", p.RTT)
 	case p.MSS <= 0:
 		return fmt.Errorf("netem: MSS must be positive, got %d", p.MSS)
+	case p.SegOverhead < 0:
+		return fmt.Errorf("netem: negative segment overhead %d", p.SegOverhead)
+	case p.QueueBytes < 0:
+		return fmt.Errorf("netem: negative queue limit %d", p.QueueBytes)
+	case p.QueueBytes > 0 && p.QueueBytes < p.MSS+p.SegOverhead:
+		return fmt.Errorf("netem: queue limit %d cannot hold one segment (MSS %d + overhead %d): every segment would tail-drop",
+			p.QueueBytes, p.MSS, p.SegOverhead)
 	case p.InitialCwnd <= 0:
 		return fmt.Errorf("netem: initial cwnd must be positive, got %d", p.InitialCwnd)
+	case p.HandshakeRTTs < 0:
+		return fmt.Errorf("netem: negative handshake RTTs %d", p.HandshakeRTTs)
 	case p.LossRate < 0 || p.LossRate >= 1:
 		return fmt.Errorf("netem: loss rate %v out of [0,1)", p.LossRate)
 	}
@@ -261,7 +272,7 @@ func (h *halfConn) sendSegment(seq int64, seg []byte, attempt int) {
 		if h.ssthresh < 2 {
 			h.ssthresh = 2
 		}
-		h.cwnd = float64(minInt(int(h.cwnd), 4))
+		h.cwnd = float64(min(int(h.cwnd), 4))
 		rto := 2 * h.rtt
 		if rto < 100*time.Millisecond {
 			rto = 100 * time.Millisecond
@@ -417,11 +428,4 @@ func (e *End) SentBytes() int64  { return e.out.sent }
 func (e *End) AckedBytes() int64 { return e.out.acked }
 func (e *End) Retransmits() int64 {
 	return e.out.rtxCount
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

@@ -324,3 +324,28 @@ func TestDeterministicTiming(t *testing.T) {
 		t.Fatalf("identical runs differ: %v vs %v", d1, d2)
 	}
 }
+
+func TestProfileValidateRejectsNonsense(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Profile)
+	}{
+		{"negative overhead", func(p *Profile) { p.SegOverhead = -1 }},
+		{"negative handshake", func(p *Profile) { p.HandshakeRTTs = -1 }},
+		{"negative queue", func(p *Profile) { p.QueueBytes = -1 }},
+		{"queue below one segment", func(p *Profile) { p.QueueBytes = 100 }},
+	}
+	for _, tc := range cases {
+		p := DSL()
+		tc.mutate(&p)
+		if p.Validate() == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	// Unlimited queue (0) stays valid regardless of MSS.
+	p := DSL()
+	p.QueueBytes = 0
+	if err := p.Validate(); err != nil {
+		t.Errorf("unlimited queue rejected: %v", err)
+	}
+}

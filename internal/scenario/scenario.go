@@ -1,0 +1,241 @@
+// Package scenario makes the testbed's measurement conditions a
+// first-class, composable value. A Scenario couples a named emulated
+// access link (netem.Profile) with a Variability model describing every
+// source of run-to-run change the paper distinguishes between its
+// controlled testbed and "the Internet" (Sec. 4.1, Fig. 2a): network
+// jitter, server think time, dynamic third-party content and client
+// compute jitter.
+//
+// Scenarios are plain data: the package ships a library of named
+// scenarios (the paper's DSL testbed, the same link with Internet-mode
+// variability, fiber, cable, LTE, 3G, lossy Wi-Fi, satellite) and any
+// new measurement condition is a new value, not a change to the
+// testbed core. Derive realises a scenario for one run seed and is
+// fully deterministic: identical seeds yield identical Conditions,
+// which is what keeps experiment tables byte-identical across
+// worker-pool sizes.
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"repro/internal/netem"
+	"repro/internal/replay"
+)
+
+// Range is an interval [Low, High) a perturbation factor is drawn from
+// uniformly. The zero Range disables the perturbation entirely (no RNG
+// draw is consumed).
+type Range struct {
+	Low, High float64
+}
+
+func (r Range) enabled() bool { return r != (Range{}) }
+
+func (r Range) draw(rng *rand.Rand) float64 { return r.Low + rng.Float64()*(r.High-r.Low) }
+
+func (r Range) validate(what string, minLow float64) error {
+	if !r.enabled() {
+		return nil
+	}
+	if r.Low < minLow || r.High < r.Low {
+		return fmt.Errorf("scenario: %s range [%g,%g) invalid (need %g <= low <= high)", what, r.Low, r.High, minLow)
+	}
+	return nil
+}
+
+// Variability models run-to-run change. The zero value is the fully
+// controlled testbed: every run sees exactly the scenario's profile and
+// the browser's configured compute jitter.
+type Variability struct {
+	// RTT multiplies the profile RTT by a per-run factor from this range.
+	RTT Range
+	// Rate multiplies DownRate and UpRate by independent per-run factors
+	// from this range.
+	Rate Range
+	// Loss replaces the profile loss rate with a per-run draw from this
+	// absolute range (values in [0,1)).
+	Loss Range
+	// ClientJitterFrac overrides the browser's compute-jitter fraction
+	// (browser.Config.JitterFrac) when positive; a negative value forces
+	// a fully deterministic client (jitter 0), so disabling compute
+	// jitter is a scenario-data change too. Zero keeps the browser's
+	// configured default.
+	ClientJitterFrac float64
+	// ThinkTimeMax adds a per-run server think time drawn uniformly from
+	// [0, ThinkTimeMax) in whole milliseconds.
+	ThinkTimeMax time.Duration
+	// ThirdParty rescales the bodies of objects served by hosts outside
+	// the base origin's authority by an independent per-object factor
+	// from this range, modelling ads rotating between loads (Sec. 4).
+	ThirdParty Range
+}
+
+func (v Variability) validate() error {
+	if err := v.RTT.validate("RTT factor", 1e-3); err != nil {
+		return err
+	}
+	if err := v.Rate.validate("rate factor", 1e-3); err != nil {
+		return err
+	}
+	if err := v.Loss.validate("loss", 0); err != nil {
+		return err
+	}
+	if v.Loss.enabled() && v.Loss.High >= 1 {
+		return fmt.Errorf("scenario: loss range [%g,%g) out of [0,1)", v.Loss.Low, v.Loss.High)
+	}
+	if v.ClientJitterFrac >= 1 {
+		return fmt.Errorf("scenario: client jitter fraction %g out of (-inf,1); negative disables jitter", v.ClientJitterFrac)
+	}
+	if v.ThinkTimeMax < 0 {
+		return fmt.Errorf("scenario: negative think time %v", v.ThinkTimeMax)
+	}
+	if v.ThinkTimeMax > 0 && v.ThinkTimeMax < time.Millisecond {
+		// Think time is drawn in whole milliseconds; rejecting the
+		// sub-millisecond range beats silently ignoring it in Derive.
+		return fmt.Errorf("scenario: think time %v below the 1ms draw granularity", v.ThinkTimeMax)
+	}
+	return v.ThirdParty.validate("third-party scale", 1e-3)
+}
+
+// Describe renders the active perturbations for table notes, or "" for
+// a fully controlled scenario.
+func (v Variability) Describe() string {
+	var parts []string
+	if v.RTT.enabled() {
+		parts = append(parts, fmt.Sprintf("RTT x[%g,%g)", v.RTT.Low, v.RTT.High))
+	}
+	if v.Rate.enabled() {
+		parts = append(parts, fmt.Sprintf("rates x[%g,%g)", v.Rate.Low, v.Rate.High))
+	}
+	if v.Loss.enabled() {
+		parts = append(parts, fmt.Sprintf("loss drawn [%.2f%%,%.2f%%)", v.Loss.Low*100, v.Loss.High*100))
+	}
+	switch {
+	case v.ClientJitterFrac > 0:
+		parts = append(parts, fmt.Sprintf("client jitter %.0f%%", v.ClientJitterFrac*100))
+	case v.ClientJitterFrac < 0:
+		parts = append(parts, "client jitter off")
+	}
+	if v.ThinkTimeMax >= time.Millisecond {
+		parts = append(parts, fmt.Sprintf("think time <%v", v.ThinkTimeMax))
+	}
+	if v.ThirdParty.enabled() {
+		parts = append(parts, fmt.Sprintf("3rd-party bodies x[%g,%g)", v.ThirdParty.Low, v.ThirdParty.High))
+	}
+	return strings.Join(parts, ", ")
+}
+
+// Scenario is one named measurement condition: an access link plus the
+// variability applied on top of it per run.
+type Scenario struct {
+	Name    string
+	Info    string // one-line human description for tables and docs
+	Profile netem.Profile
+	Vary    Variability
+}
+
+// With returns a copy of the scenario with the given variability model,
+// composing a link with a perturbation regime.
+func (sc Scenario) With(v Variability) Scenario {
+	sc.Vary = v
+	return sc
+}
+
+// Validate reports whether the scenario is internally consistent. The
+// testbed calls it at construction so a bad scenario fails fast with a
+// clear error instead of a mid-experiment panic.
+func (sc Scenario) Validate() error {
+	if sc.Name == "" {
+		return fmt.Errorf("scenario: empty name")
+	}
+	if err := sc.Profile.Validate(); err != nil {
+		return fmt.Errorf("scenario %q: %w", sc.Name, err)
+	}
+	if err := sc.Vary.validate(); err != nil {
+		return fmt.Errorf("scenario %q: %w", sc.Name, err)
+	}
+	return nil
+}
+
+// Conditions is one realised run of a Scenario: the perturbed link
+// profile plus the per-run browser and server parameters the testbed
+// consumes.
+type Conditions struct {
+	Profile netem.Profile
+	// ClientJitterFrac overrides the browser compute jitter when
+	// positive; zero keeps the browser's configured default.
+	ClientJitterFrac float64
+	// ThinkTime delays every replay-server response.
+	ThinkTime time.Duration
+
+	thirdParty Range
+	rng        *rand.Rand
+}
+
+// Derive realises the scenario for one run seed. It is deterministic:
+// the same seed always yields the same Conditions and the same
+// ApplySite output.
+func (sc Scenario) Derive(seed int64) *Conditions {
+	c := &Conditions{Profile: sc.Profile, ClientJitterFrac: sc.Vary.ClientJitterFrac}
+	v := sc.Vary
+	// The rng is built lazily: fully controlled scenarios (most of the
+	// library) skip the source allocation on this per-run hot path.
+	var rng *rand.Rand
+	if v.RTT.enabled() || v.Rate.enabled() || v.Loss.enabled() || v.ThirdParty.enabled() {
+		rng = rand.New(rand.NewSource(seed ^ 0x5eed))
+	}
+	if v.RTT.enabled() {
+		c.Profile.RTT = time.Duration(float64(c.Profile.RTT) * v.RTT.draw(rng))
+	}
+	if v.Rate.enabled() {
+		c.Profile.DownRate = netem.Rate(float64(c.Profile.DownRate) * v.Rate.draw(rng))
+		c.Profile.UpRate = netem.Rate(float64(c.Profile.UpRate) * v.Rate.draw(rng))
+	}
+	if v.Loss.enabled() {
+		c.Profile.LossRate = v.Loss.draw(rng)
+	}
+	if v.ThinkTimeMax >= time.Millisecond {
+		trng := rand.New(rand.NewSource(seed ^ 0x7417))
+		c.ThinkTime = time.Duration(trng.Intn(int(v.ThinkTimeMax/time.Millisecond))) * time.Millisecond
+	}
+	if v.ThirdParty.enabled() {
+		c.thirdParty = v.ThirdParty
+		c.rng = rng
+	}
+	return c
+}
+
+// ApplySite realises dynamic third-party content for this run: bodies on
+// servers other than the base origin are rescaled per object. Sites
+// without third-party variability pass through unchanged. Call it at
+// most once per Conditions — the scaling consumes the derivation's RNG
+// stream, so a second call would realise a different site.
+func (c *Conditions) ApplySite(site *replay.Site) *replay.Site {
+	if !c.thirdParty.enabled() {
+		return site
+	}
+	db := replay.NewDB()
+	for _, e := range site.DB.Entries() {
+		if site.Authoritative(site.Base.Authority, e.URL.Authority) {
+			db.Add(e)
+			continue
+		}
+		ne := *e
+		n := max(int(float64(len(e.Body))*c.thirdParty.draw(c.rng)), 16)
+		body := make([]byte, n)
+		copy(body, e.Body)
+		for i := len(e.Body); i < n; i++ {
+			body[i] = byte('x')
+		}
+		ne.Body = body
+		db.Add(&ne)
+	}
+	return &replay.Site{
+		Name: site.Name, Base: site.Base, DB: db,
+		IPByHost: site.IPByHost, SANsByIP: site.SANsByIP,
+	}
+}
