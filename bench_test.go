@@ -188,6 +188,7 @@ func BenchmarkFig6Interleaving(b *testing.B) {
 func BenchmarkScenarioSweep(b *testing.B) {
 	var tabs []*core.Table
 	sc := core.ExperimentScale{Sites: 2, Runs: 3, Seed: 1, Jobs: 0}
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		var err error
 		tabs, err = core.ScenarioSweepNames([]string{"dsl", "satellite"}, sc)
@@ -324,6 +325,7 @@ func BenchmarkAblationInterleaveOffset(b *testing.B) {
 func BenchmarkEngineSequential(b *testing.B) {
 	sc := benchScale()
 	sc.Jobs = 1
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		core.Fig2bPushVsNoPush(sc)
 	}
@@ -332,6 +334,7 @@ func BenchmarkEngineSequential(b *testing.B) {
 func BenchmarkEngineParallel(b *testing.B) {
 	sc := benchScale()
 	sc.Jobs = 0 // GOMAXPROCS
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		core.Fig2bPushVsNoPush(sc)
 	}

@@ -28,6 +28,27 @@
 //     engine, one experiment driver per figure/table of the evaluation,
 //     and the cross-scenario strategy sweep (ScenarioSweep).
 //
+// # The zero-copy byte path
+//
+// Simulator throughput is the budget every experiment spends, so the
+// data plane avoids copies end to end: response bodies are queued into
+// HTTP/2 streams by reference (h2.Stream.QueueData retains the slice),
+// DATA frames are emitted as an arena-backed header plus zero-copy
+// payload subslices (h2.Core.AppendWrite), the emulated network
+// transmits them as subslices of the writer's chunks (netem.End.WriteV
+// transfers ownership), and the receiving frame parser consumes the
+// delivered slices in place (h2.FrameReader.Feed retains, Next parses
+// from the chunk list). The ownership rule at every seam is the same:
+// bytes handed across it must not be mutated afterwards, and bytes
+// received from it must be copied if retained beyond the callback.
+// Hot-path events ride sim.AtCall (pooled Event structs, static
+// callbacks) and netem pools per-segment state, so steady-state
+// transfer allocates nothing per segment. Experiment tables are pinned
+// byte-for-byte across this machinery by golden-fixture tests
+// (internal/core/testdata), and allocation budgets are enforced by
+// regression tests; scripts/bench.sh tracks the perf trajectory
+// (BENCH_pr3.json).
+//
 // See README.md for building, running the experiment drivers
 // (cmd/pushbench) and benchmarking. bench_test.go regenerates every
 // figure: go test -bench=. -benchmem.

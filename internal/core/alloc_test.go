@@ -1,0 +1,30 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/replay"
+)
+
+// TestPageLoadAllocBudget is the allocation regression guard for the
+// zero-copy data plane (PR 3). Before the refactor a single page load of
+// this site cost ~17.9k allocations; the chunked send queues, pooled
+// events/segments and arena-backed frame headers brought it under 6k.
+// The budget leaves headroom for benign churn while still enforcing the
+// required >=2x reduction. (Not meaningful under -race, which inflates
+// allocation counts; CI runs it in the plain test pass.)
+func TestPageLoadAllocBudget(t *testing.T) {
+	site := corpus.Generate(corpus.RandomProfile(), 0, 1)
+	tb := NewTestbed()
+	plan := replay.NoPush()
+	avg := testing.AllocsPerRun(3, func() {
+		if r := tb.RunOnce(site, plan, 0); !r.Completed {
+			t.Fatal("incomplete load")
+		}
+	})
+	const budget = 9000 // half of the pre-refactor ~17.9k
+	if avg > budget {
+		t.Errorf("page load allocates %.0f, budget %d", avg, budget)
+	}
+}

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// The golden fixtures in testdata were generated before the zero-copy
+// data-plane refactor (PR 3) from the then-current simulator. These tests
+// pin the experiment tables byte-for-byte against them, at Jobs=1 and
+// Jobs=GOMAXPROCS, so neither the zero-copy byte path nor the parallel
+// engine can silently change a single cell. Run under -race in CI.
+
+func readGolden(t *testing.T, name string) string {
+	t.Helper()
+	b, err := os.ReadFile("testdata/" + name)
+	if err != nil {
+		t.Fatalf("read golden: %v", err)
+	}
+	return string(b)
+}
+
+func diffLine(got, want string) string {
+	gl, wl := strings.Split(got, "\n"), strings.Split(want, "\n")
+	for i := 0; i < len(gl) && i < len(wl); i++ {
+		if gl[i] != wl[i] {
+			return "line " + gl[i] + " != " + wl[i]
+		}
+	}
+	return "length mismatch"
+}
+
+func TestFig2bGoldenByteIdentical(t *testing.T) {
+	want := readGolden(t, "fig2b_golden.txt")
+	for _, jobs := range []int{1, 0} {
+		sc := ExperimentScale{Sites: 4, Runs: 3, Seed: 1, Jobs: jobs}
+		got := Fig2bPushVsNoPush(sc).String()
+		if got != want {
+			t.Errorf("Fig2b table diverged from golden at Jobs=%d: %s", jobs, diffLine(got, want))
+		}
+	}
+}
+
+func TestScenarioSweepGoldenByteIdentical(t *testing.T) {
+	want := readGolden(t, "scenariosweep_golden.txt")
+	for _, jobs := range []int{1, 0} {
+		sc := ExperimentScale{Sites: 2, Runs: 2, Seed: 1, Jobs: jobs}
+		tabs, err := ScenarioSweepNames([]string{"dsl", "satellite"}, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		for _, tab := range tabs {
+			sb.WriteString(tab.String())
+		}
+		if got := sb.String(); got != want {
+			t.Errorf("scenario sweep tables diverged from golden at Jobs=%d: %s", jobs, diffLine(got, want))
+		}
+	}
+}

@@ -69,10 +69,15 @@ type Stream struct {
 
 	State StreamState
 
-	// sending side
+	// sending side. The output buffer is a chunked FIFO of
+	// caller-provided slices; DATA frames are carved out of it as
+	// zero-copy subslices.
 	sendWindow  int64
-	outBuf      []byte
-	outClosed   bool // END_STREAM once outBuf drains
+	outChunks   [][]byte
+	outHead     int  // index of first live chunk
+	outOff      int  // consumed prefix of outChunks[outHead]
+	outLen      int  // total unframed body bytes queued
+	outClosed   bool // END_STREAM once the queue drains
 	sentBody    int  // body bytes framed so far
 	pauseAt     int  // pause output at this body offset; -1 = no pause
 	resumeOn    map[uint32]bool
@@ -98,8 +103,14 @@ func (st *Stream) SentBodyBytes() int { return st.sentBody }
 func (st *Stream) RecvdBodyBytes() int { return st.recvdBody }
 
 // QueueData appends body bytes for transmission, scheduled by the tree.
+// The slice is retained, not copied: DATA frames reference it until sent,
+// so the caller must not mutate b after queueing (the testbed passes
+// immutable recorded response bodies).
 func (st *Stream) QueueData(b []byte) {
-	st.outBuf = append(st.outBuf, b...)
+	if len(b) > 0 {
+		st.outChunks = append(st.outChunks, b)
+		st.outLen += len(b)
+	}
 	st.core.wake()
 }
 
@@ -180,6 +191,8 @@ type Core struct {
 	PushAtRoot bool
 
 	ctrl       [][]byte // encoded control frames, FIFO
+	hdrArena   []byte   // append-only arena for DATA frame headers
+	popScratch [][]byte // reused chunk list for the PopWrite compat path
 	started    bool
 	goingAway  bool
 	prefaceGot int // client preface bytes consumed (server side)
@@ -312,7 +325,7 @@ func (c *Core) closeStream(st *Stream) {
 		return
 	}
 	st.State = StateClosed
-	st.outBuf = nil
+	st.outChunks, st.outHead, st.outOff, st.outLen = nil, 0, 0, 0
 	delete(c.streams, st.ID)
 	c.Tree.Remove(st.ID)
 }
@@ -438,7 +451,10 @@ func (c *Core) Push(parent *Stream, reqFields []hpack.HeaderField) *Stream {
 
 // --- receive path ---
 
-// Recv feeds transport bytes into the connection.
+// Recv feeds transport bytes into the connection. The slice is retained
+// by the frame reader until parsed (zero-copy), so the caller must not
+// mutate it after the call; callbacks that want to keep payload bytes
+// must copy them (frame payloads are only valid during the callback).
 func (c *Core) Recv(b []byte) {
 	if c.goingAway {
 		return
@@ -798,7 +814,7 @@ func (c *Core) sendable(st *Stream) bool {
 	if st.Paused() {
 		return false
 	}
-	if len(st.outBuf) > 0 {
+	if st.outLen > 0 {
 		return true
 	}
 	// A bare END_STREAM still needs to be sent.
@@ -821,22 +837,43 @@ func (c *Core) HasPending() bool {
 	return c.Tree.Next(c.sendable) != nil
 }
 
-// PopWrite returns the next chunk of bytes to hand to the transport, at
-// most max bytes of control frames or a single DATA frame. It returns nil
-// when there is nothing to send. Control frames always precede DATA, so
-// PUSH_PROMISE and HEADERS cannot be overtaken by body bytes.
-func (c *Core) PopWrite(max int) []byte {
+// arenaHeader encodes a frame header into the connection's append-only
+// header arena and returns it as a capacity-capped subslice. Arena blocks
+// are never rewound or reused, so the returned slice stays valid for as
+// long as the transport references it; exhausted blocks are simply
+// dropped for the GC once all their headers are consumed.
+func (c *Core) arenaHeader(length int, t FrameType, flags Flags, streamID uint32) []byte {
+	const arenaBlock = 4096
+	if cap(c.hdrArena)-len(c.hdrArena) < frameHeaderLen {
+		c.hdrArena = make([]byte, 0, arenaBlock)
+	}
+	n := len(c.hdrArena)
+	c.hdrArena = appendFrameHeader(c.hdrArena, length, t, flags, streamID)
+	return c.hdrArena[n:len(c.hdrArena):len(c.hdrArena)]
+}
+
+// AppendWrite appends the wire bytes of the next frame to chunks and
+// returns the extended list: a control frame as one pre-encoded slice, a
+// DATA frame as its header (from the arena) followed by zero-copy
+// subslices of the stream's queued body. It appends nothing when there is
+// nothing to send. max bounds the DATA payload as in PopWrite. Control
+// frames always precede DATA, so PUSH_PROMISE and HEADERS cannot be
+// overtaken by body bytes.
+//
+// The returned slices are owned by the connection until the transport has
+// consumed them; the chunks container itself may be reused by the caller.
+func (c *Core) AppendWrite(chunks [][]byte, max int) [][]byte {
 	if len(c.ctrl) > 0 {
 		out := c.ctrl[0]
 		c.ctrl = c.ctrl[1:]
 		c.FramesSent++
-		return out
+		return append(chunks, out)
 	}
 	st := c.Tree.Next(c.sendable)
 	if st == nil {
-		return nil
+		return chunks
 	}
-	n := len(st.outBuf)
+	n := st.outLen
 	if m := int(c.peer.MaxFrameSize); n > m {
 		n = m
 	}
@@ -859,19 +896,68 @@ func (c *Core) PopWrite(max int) []byte {
 	if n < 0 {
 		n = 0
 	}
-	data := st.outBuf[:n]
-	st.outBuf = st.outBuf[n:]
+	st.outLen -= n
 	st.sentBody += n
 	st.sendWindow -= int64(n)
 	c.sendWindow -= int64(n)
 	c.DataBytesSent += int64(n)
 	c.Tree.Charge(st.ID, n)
-	end := st.outClosed && len(st.outBuf) == 0 && !st.Paused()
-	f := &DataFrame{StreamID: st.ID, Data: data, EndStream: end}
-	out := AppendFrame(nil, f)
+	end := st.outClosed && st.outLen == 0 && !st.Paused()
+	var fl Flags
+	if end {
+		fl |= FlagEndStream
+	}
+	chunks = append(chunks, c.arenaHeader(n, FrameData, fl, st.ID))
+	for remain := n; remain > 0; {
+		b := st.outChunks[st.outHead]
+		take := len(b) - st.outOff
+		if take > remain {
+			take = remain
+		}
+		chunks = append(chunks, b[st.outOff:st.outOff+take:st.outOff+take])
+		st.outOff += take
+		remain -= take
+		if st.outOff == len(b) {
+			st.outChunks[st.outHead] = nil
+			st.outHead++
+			st.outOff = 0
+		}
+	}
+	if st.outHead == len(st.outChunks) {
+		st.outChunks = st.outChunks[:0]
+		st.outHead = 0
+	}
 	c.FramesSent++
 	if end {
 		c.finishOut(st)
+	}
+	return chunks
+}
+
+// PopWrite returns the next chunk of bytes to hand to the transport, at
+// most max bytes of control frames or a single DATA frame. It returns nil
+// when there is nothing to send. It is the flattening wrapper around
+// AppendWrite for real (io.Writer-style) transports; the simulator path
+// uses AppendWrite + netem WriteV to avoid the copy.
+func (c *Core) PopWrite(max int) []byte {
+	c.popScratch = c.AppendWrite(c.popScratch[:0], max)
+	parts := c.popScratch
+	switch len(parts) {
+	case 0:
+		return nil
+	case 1:
+		out := parts[0]
+		parts[0] = nil
+		return out
+	}
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	out := make([]byte, 0, total)
+	for i, p := range parts {
+		out = append(out, p...)
+		parts[i] = nil
 	}
 	return out
 }

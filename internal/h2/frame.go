@@ -375,27 +375,122 @@ func (e ConnError) Error() string { return fmt.Sprintf("h2: connection error %d:
 
 var errFrameTooLarge = errors.New("h2: frame exceeds max frame size")
 
-// FrameReader incrementally decodes frames from a byte stream. Feed
-// arbitrary chunks; Next returns complete frames.
+// emptyPayload stands in for zero-length frame payloads so decoded frames
+// carry a non-nil empty slice, matching the encoder's round trip.
+var emptyPayload = []byte{}
+
+// FrameReader incrementally decodes frames from a byte stream.
+//
+// Feed is zero-copy: the reader retains the given slice until its bytes
+// have been consumed, so callers transfer ownership and must not mutate
+// fed chunks. Next parses directly from the chunk list; a frame payload
+// that lies within one chunk is returned as a subslice of it, and a
+// payload spanning chunks is assembled into a reused scratch buffer.
+// Consequently a returned Frame (and any payload slice it carries) is
+// only valid until the next call to Next or Feed — consumers must copy
+// what they retain.
 type FrameReader struct {
-	buf          []byte
 	MaxFrameSize int // zero means DefaultMaxFrameSize
+
+	chunks   [][]byte // fed transport chunks; chunks[head][off:] is next
+	head     int
+	off      int
+	buffered int
+
+	hdr     [frameHeaderLen]byte
+	scratch []byte    // reassembly buffer for payloads spanning chunks
+	data    DataFrame // reused for DATA, the hot frame type
 }
 
-// Feed appends transport bytes to the reader.
-func (r *FrameReader) Feed(b []byte) { r.buf = append(r.buf, b...) }
+// Feed hands transport bytes to the reader. The slice is retained (not
+// copied) until consumed; see the type comment for the ownership rule.
+func (r *FrameReader) Feed(b []byte) {
+	if len(b) == 0 {
+		return
+	}
+	r.chunks = append(r.chunks, b)
+	r.buffered += len(b)
+}
 
 // Buffered returns the number of undecoded bytes held.
-func (r *FrameReader) Buffered() int { return len(r.buf) }
+func (r *FrameReader) Buffered() int { return r.buffered }
+
+// peekHeader copies the next frameHeaderLen bytes into r.hdr without
+// consuming them. The caller guarantees buffered >= frameHeaderLen.
+func (r *FrameReader) peekHeader() {
+	i, off, n := r.head, r.off, 0
+	for n < frameHeaderLen {
+		n += copy(r.hdr[n:], r.chunks[i][off:])
+		i++
+		off = 0
+	}
+}
+
+// consume advances past n buffered bytes. The caller guarantees
+// buffered >= n.
+func (r *FrameReader) consume(n int) {
+	r.buffered -= n
+	for n > 0 {
+		avail := len(r.chunks[r.head]) - r.off
+		if n < avail {
+			r.off += n
+			break
+		}
+		n -= avail
+		r.chunks[r.head] = nil
+		r.head++
+		r.off = 0
+	}
+	switch {
+	case r.head == len(r.chunks):
+		r.chunks = r.chunks[:0]
+		r.head = 0
+	case r.head > 64 && 2*r.head >= len(r.chunks):
+		m := copy(r.chunks, r.chunks[r.head:])
+		for i := m; i < len(r.chunks); i++ {
+			r.chunks[i] = nil
+		}
+		r.chunks = r.chunks[:m]
+		r.head = 0
+	}
+}
+
+// take consumes n bytes and returns them contiguously: a zero-copy
+// subslice when they lie within one chunk, otherwise the reused scratch
+// buffer. The caller guarantees buffered >= n.
+func (r *FrameReader) take(n int) []byte {
+	if n == 0 {
+		return emptyPayload
+	}
+	if c := r.chunks[r.head]; len(c)-r.off >= n {
+		p := c[r.off : r.off+n : r.off+n]
+		r.consume(n)
+		return p
+	}
+	if cap(r.scratch) < n {
+		r.scratch = make([]byte, n)
+	}
+	buf := r.scratch[:n]
+	filled := 0
+	for filled < n {
+		c := r.chunks[r.head]
+		m := copy(buf[filled:], c[r.off:])
+		filled += m
+		r.consume(m)
+	}
+	return buf
+}
 
 // Next decodes the next complete frame, returning nil when more bytes are
 // needed. Frames of unknown type are skipped, per RFC 7540 Section 4.1.
+// The returned frame is valid until the next call to Next or Feed.
 func (r *FrameReader) Next() (Frame, error) {
 	for {
-		if len(r.buf) < frameHeaderLen {
+		if r.buffered < frameHeaderLen {
 			return nil, nil
 		}
-		length := int(r.buf[0])<<16 | int(r.buf[1])<<8 | int(r.buf[2])
+		r.peekHeader()
+		length := int(r.hdr[0])<<16 | int(r.hdr[1])<<8 | int(r.hdr[2])
 		maxFS := r.MaxFrameSize
 		if maxFS == 0 {
 			maxFS = DefaultMaxFrameSize
@@ -403,15 +498,24 @@ func (r *FrameReader) Next() (Frame, error) {
 		if length > maxFS {
 			return nil, ConnError{ErrCodeFrameSize, errFrameTooLarge.Error()}
 		}
-		if len(r.buf) < frameHeaderLen+length {
+		if r.buffered < frameHeaderLen+length {
 			return nil, nil
 		}
-		typ := FrameType(r.buf[3])
-		flags := Flags(r.buf[4])
-		streamID := binary.BigEndian.Uint32(r.buf[5:9]) & 0x7fffffff
-		payload := make([]byte, length)
-		copy(payload, r.buf[frameHeaderLen:frameHeaderLen+length])
-		r.buf = r.buf[frameHeaderLen+length:]
+		typ := FrameType(r.hdr[3])
+		flags := Flags(r.hdr[4])
+		streamID := binary.BigEndian.Uint32(r.hdr[5:9]) & 0x7fffffff
+		r.consume(frameHeaderLen)
+		payload := r.take(length)
+		if typ == FrameData {
+			// Hot path: reuse the reader's DataFrame instead of
+			// allocating one per frame.
+			p, err := checkDataPayload(streamID, flags, payload)
+			if err != nil {
+				return nil, err
+			}
+			r.data = DataFrame{StreamID: streamID, Data: p, EndStream: flags.Has(FlagEndStream)}
+			return &r.data, nil
+		}
 		f, err := parseFrame(typ, flags, streamID, payload)
 		if err != nil {
 			return nil, err
@@ -423,17 +527,26 @@ func (r *FrameReader) Next() (Frame, error) {
 	}
 }
 
+// checkDataPayload validates a DATA frame and strips padding.
+func checkDataPayload(streamID uint32, flags Flags, p []byte) ([]byte, error) {
+	if streamID == 0 {
+		return nil, ConnError{ErrCodeProtocol, "DATA on stream 0"}
+	}
+	if flags.Has(FlagPadded) {
+		if len(p) < 1 || int(p[0]) >= len(p) {
+			return nil, ConnError{ErrCodeProtocol, "bad DATA padding"}
+		}
+		p = p[1 : len(p)-int(p[0])]
+	}
+	return p, nil
+}
+
 func parseFrame(typ FrameType, flags Flags, streamID uint32, p []byte) (Frame, error) {
 	switch typ {
 	case FrameData:
-		if streamID == 0 {
-			return nil, ConnError{ErrCodeProtocol, "DATA on stream 0"}
-		}
-		if flags.Has(FlagPadded) {
-			if len(p) < 1 || int(p[0]) >= len(p) {
-				return nil, ConnError{ErrCodeProtocol, "bad DATA padding"}
-			}
-			p = p[1 : len(p)-int(p[0])]
+		p, err := checkDataPayload(streamID, flags, p)
+		if err != nil {
+			return nil, err
 		}
 		return &DataFrame{StreamID: streamID, Data: p, EndStream: flags.Has(FlagEndStream)}, nil
 

@@ -61,7 +61,10 @@ func TestFrameReaderIncrementalFeeding(t *testing.T) {
 	}
 	rng := rand.New(rand.NewSource(5))
 	var r FrameReader
-	var got []Frame
+	// Frames are only valid until the next Next/Feed call (the reader
+	// reuses its scratch buffer and DATA frame), so compare each one as
+	// it is produced instead of collecting them.
+	gotN := 0
 	for len(wire) > 0 {
 		n := rng.Intn(7) + 1
 		if n > len(wire) {
@@ -77,16 +80,17 @@ func TestFrameReaderIncrementalFeeding(t *testing.T) {
 			if f == nil {
 				break
 			}
-			got = append(got, f)
+			if gotN >= len(want) {
+				t.Fatalf("got more than %d frames", len(want))
+			}
+			if !reflect.DeepEqual(f, want[gotN]) {
+				t.Errorf("frame %d mismatch:\n got %#v\nwant %#v", gotN, f, want[gotN])
+			}
+			gotN++
 		}
 	}
-	if len(got) != len(want) {
-		t.Fatalf("got %d frames, want %d", len(got), len(want))
-	}
-	for i := range want {
-		if !reflect.DeepEqual(got[i], want[i]) {
-			t.Errorf("frame %d mismatch", i)
-		}
+	if gotN != len(want) {
+		t.Fatalf("got %d frames, want %d", gotN, len(want))
 	}
 }
 

@@ -73,8 +73,12 @@ func (c *IOConn) readLoop() {
 	for {
 		n, err := c.rw.Read(buf)
 		if n > 0 {
+			// Core.Recv retains the slice (zero-copy frame parsing), so
+			// hand it a right-sized copy and keep reusing buf.
+			chunk := make([]byte, n)
+			copy(chunk, buf[:n])
 			c.mu.Lock()
-			c.core.Recv(buf[:n])
+			c.core.Recv(chunk)
 			c.cond.Signal()
 			c.mu.Unlock()
 		}

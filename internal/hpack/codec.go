@@ -13,6 +13,8 @@ type Encoder struct {
 	// DisableIndexing stops the encoder from adding entries to the
 	// dynamic table (useful for benchmarks and ablations).
 	DisableIndexing bool
+	// buf is the reused output buffer; see EncodeBlock.
+	buf []byte
 }
 
 // NewEncoder returns an encoder with the default 4096-byte dynamic table.
@@ -33,8 +35,12 @@ func (e *Encoder) SetMaxDynamicTableSize(m uint32) {
 }
 
 // EncodeBlock compresses fields into a single header block fragment.
+// The returned slice aliases the encoder's reused output buffer: it is
+// only valid until the next EncodeBlock call, so callers that retain a
+// block must copy it (the h2 layer serializes blocks into frames before
+// encoding the next one).
 func (e *Encoder) EncodeBlock(fields []HeaderField) []byte {
-	var dst []byte
+	dst := e.buf[:0]
 	if e.pendingMaxSize != nil {
 		dst = appendInt(dst, 0x20, 5, uint64(*e.pendingMaxSize))
 		e.pendingMaxSize = nil
@@ -42,6 +48,7 @@ func (e *Encoder) EncodeBlock(fields []HeaderField) []byte {
 	for _, hf := range fields {
 		dst = e.appendField(dst, hf)
 	}
+	e.buf = dst
 	return dst
 }
 

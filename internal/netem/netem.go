@@ -16,6 +16,19 @@
 // the paper's effects (multi-RTT HTML transfers, bandwidth contention
 // between push streams, idle network time) only require correct
 // first-order transfer timing.
+//
+// # Zero-copy byte path
+//
+// The data plane is zero-copy end to end. Write and WriteV transfer
+// ownership of the given slices to the transport: the bytes are queued,
+// segmented and delivered as subslices of the writer's buffers, so the
+// caller must not mutate them afterwards (for the testbed this holds
+// trivially — frame headers come from an append-only arena and payloads
+// are slices of immutable recorded response bodies). Receivers likewise
+// get subslices of the writer's buffers and must copy anything they
+// retain beyond the callback. Per-segment state lives in pooled segment
+// structs and events are scheduled through sim.AtCall, so steady-state
+// transfer allocates nothing per segment.
 package netem
 
 import (
@@ -95,6 +108,18 @@ func txTime(size int, r Rate) time.Duration {
 	return time.Duration(int64(size) * 8 * int64(time.Second) / int64(r))
 }
 
+// pendingRelease records bytes that leave the bottleneck queue when their
+// serialization completes. The seq field is the sequence number a
+// dedicated release event would have carried; applying releases lazily
+// against (time, CurrentSeq) keeps queue occupancy, and therefore every
+// tail-drop decision, bit-identical to the event-per-release model while
+// scheduling only one real event (the delivery) per segment.
+type pendingRelease struct {
+	at   time.Duration
+	seq  uint64
+	size int
+}
+
 // pipe is one direction of the shared access link: a FIFO queue serving at
 // a fixed rate followed by fixed propagation delay.
 type pipe struct {
@@ -105,21 +130,26 @@ type pipe struct {
 	busyUntil time.Duration
 	queued    int
 
+	pending []pendingRelease
+	phead   int
+
 	// stats
 	delivered int64
 	dropped   int64
 }
 
-// send enqueues size bytes for transmission and calls deliver when the last
-// byte arrives at the far end. It reports false (a tail drop) when the
-// queue limit would be exceeded. force bypasses the queue limit: ACKs are
-// never dropped, because the model has no ACK-loss recovery (real TCP
-// tolerates ACK loss through cumulative ACKs, which a unidirectional
-// event model cannot reproduce faithfully).
-func (p *pipe) send(size int, force bool, deliver func()) bool {
+// admit enqueues size bytes for transmission and returns the virtual time
+// the last byte arrives at the far end; the caller schedules delivery.
+// It reports false (a tail drop) when the queue limit would be exceeded.
+// force bypasses the queue limit: ACKs are never dropped, because the
+// model has no ACK-loss recovery (real TCP tolerates ACK loss through
+// cumulative ACKs, which a unidirectional event model cannot reproduce
+// faithfully).
+func (p *pipe) admit(size int, force bool) (time.Duration, bool) {
+	p.releaseExpired()
 	if !force && p.limit > 0 && p.queued+size > p.limit {
 		p.dropped++
-		return false
+		return 0, false
 	}
 	now := p.s.Now()
 	start := p.busyUntil
@@ -129,12 +159,32 @@ func (p *pipe) send(size int, force bool, deliver func()) bool {
 	done := start + txTime(size, p.rate)
 	p.busyUntil = done
 	p.queued += size
-	p.s.At(done, func() { p.queued -= size })
-	p.s.At(done+p.prop, func() {
-		p.delivered += int64(size)
-		deliver()
-	})
-	return true
+	p.pending = append(p.pending, pendingRelease{at: done, seq: p.s.ReserveSeq(), size: size})
+	return done + p.prop, true
+}
+
+// releaseExpired applies queue releases whose (virtual) event would have
+// fired before the event currently executing. Releases are FIFO: admission
+// times are monotone per pipe, so a single head index suffices.
+func (p *pipe) releaseExpired() {
+	now, cur := p.s.Now(), p.s.CurrentSeq()
+	for p.phead < len(p.pending) {
+		r := p.pending[p.phead]
+		if r.at > now || (r.at == now && r.seq > cur) {
+			break
+		}
+		p.queued -= r.size
+		p.phead++
+	}
+	switch {
+	case p.phead == len(p.pending):
+		p.pending = p.pending[:0]
+		p.phead = 0
+	case p.phead > 64 && 2*p.phead >= len(p.pending):
+		n := copy(p.pending, p.pending[p.phead:])
+		p.pending = p.pending[:n]
+		p.phead = 0
+	}
 }
 
 // Network is the emulated access network shared by all connections of one
@@ -146,6 +196,7 @@ type Network struct {
 	up   *pipe
 
 	nextConnID int
+	segFree    []*segment
 }
 
 // New builds a Network on the given simulator. It panics on an invalid
@@ -172,6 +223,24 @@ func (n *Network) UplinkDelivered() int64 { return n.up.delivered }
 // Drops returns the number of tail-dropped segments in both directions.
 func (n *Network) Drops() int64 { return n.down.dropped + n.up.dropped }
 
+func (n *Network) getSeg() *segment {
+	if m := len(n.segFree); m > 0 {
+		seg := n.segFree[m-1]
+		n.segFree[m-1] = nil
+		n.segFree = n.segFree[:m-1]
+		return seg
+	}
+	return &segment{}
+}
+
+func (n *Network) putSeg(seg *segment) {
+	for i := range seg.parts {
+		seg.parts[i] = nil
+	}
+	*seg = segment{parts: seg.parts[:0]}
+	n.segFree = append(n.segFree, seg)
+}
+
 // Conn is an emulated TCP+TLS connection between the client and one
 // origin server. Both ends exchange ordered byte streams.
 type Conn struct {
@@ -195,12 +264,32 @@ type End struct {
 	onClose func()
 }
 
+// segment is one MSS-sized (or smaller) unit in flight. Its payload is a
+// list of zero-copy subslices of writer-provided chunks (usually one,
+// two when the segment straddles a chunk boundary). The same struct
+// carries the delivery event and then the ACK event, and is returned to
+// the network's free list once both delivery and ACK have completed.
+type segment struct {
+	h       *halfConn
+	seq     int64
+	size    int
+	attempt int
+	parts   [][]byte
+
+	delivered bool // payload handed to the receiver (or dropped as a dup)
+	ackDone   bool // ACK event fired
+}
+
 // halfConn models one sending direction: congestion control plus the
 // shared pipe in that direction. Segments carry byte sequence numbers and
 // the receiver reassembles in order, so a retransmitted segment (after a
 // tail drop or injected loss) cannot corrupt the delivered byte stream.
+//
+// The send buffer is a chunked FIFO of writer-provided slices; pump
+// carves MSS-sized segments out of it as zero-copy subslices.
 type halfConn struct {
 	s        *sim.Sim
+	net      *Network
 	pipe     *pipe // data direction
 	ackPipe  *pipe // reverse direction for ACKs
 	mss      int
@@ -211,13 +300,21 @@ type halfConn struct {
 	cwnd     float64 // segments
 	ssthresh float64
 	inflight int // un-acked bytes
-	buf      []byte
+
+	chunks   [][]byte // writer-provided slices, chunks[head][off:] is next unsent
+	head     int
+	off      int
+	buffered int // total unsent bytes across chunks
+
 	onDrain  func()
 	peerRecv func() func([]byte)
+	closed   bool
 
-	nextSeq   int64            // next byte sequence to assign
-	expectSeq int64            // receiver: next in-order byte expected
-	ooo       map[int64][]byte // receiver: out-of-order segments by seq
+	nextSeq   int64      // next byte sequence to assign
+	expectSeq int64      // receiver: next in-order byte expected
+	ooo       []*segment // receiver: out-of-order segments, sorted by seq
+
+	rtx []*sim.Event // pending retransmit timers, cancelled on close
 
 	sent     int64
 	acked    int64
@@ -225,95 +322,215 @@ type halfConn struct {
 	rtt      time.Duration
 }
 
-func (h *halfConn) buffered() int { return len(h.buf) + h.inflight }
+func (h *halfConn) enqueue(b []byte) {
+	h.chunks = append(h.chunks, b)
+	h.buffered += len(b)
+}
 
 func (h *halfConn) write(b []byte) {
-	h.buf = append(h.buf, b...)
+	h.enqueue(b)
 	h.pump()
 }
 
-// pump admits as many segments as the congestion window allows.
-func (h *halfConn) pump() {
-	for len(h.buf) > 0 && h.inflight < int(h.cwnd*float64(h.mss)) {
-		n := h.mss
-		if n > len(h.buf) {
-			n = len(h.buf)
+func (h *halfConn) writev(bs [][]byte) {
+	for _, b := range bs {
+		if len(b) > 0 {
+			h.enqueue(b)
 		}
-		seg := make([]byte, n)
-		copy(seg, h.buf[:n])
-		h.buf = h.buf[n:]
+	}
+	h.pump()
+}
+
+// pump admits as many segments as the congestion window allows, carving
+// zero-copy subslices off the chunk queue. A closed connection admits
+// nothing more: in-flight segments drain, buffered bytes are abandoned.
+func (h *halfConn) pump() {
+	for !h.closed && h.buffered > 0 && h.inflight < int(h.cwnd*float64(h.mss)) {
+		n := h.mss
+		if n > h.buffered {
+			n = h.buffered
+		}
+		seg := h.net.getSeg()
+		seg.h = h
+		seg.seq = h.nextSeq
+		seg.size = n
+		seg.attempt = 1
+		remain := n
+		for remain > 0 {
+			c := h.chunks[h.head]
+			take := len(c) - h.off
+			if take > remain {
+				take = remain
+			}
+			seg.parts = append(seg.parts, c[h.off:h.off+take:h.off+take])
+			h.off += take
+			remain -= take
+			if h.off == len(c) {
+				h.chunks[h.head] = nil
+				h.head++
+				h.off = 0
+			}
+		}
+		switch {
+		case h.head == len(h.chunks):
+			h.chunks = h.chunks[:0]
+			h.head = 0
+		case h.head > 64 && 2*h.head >= len(h.chunks):
+			m := copy(h.chunks, h.chunks[h.head:])
+			for i := m; i < len(h.chunks); i++ {
+				h.chunks[i] = nil
+			}
+			h.chunks = h.chunks[:m]
+			h.head = 0
+		}
+		h.buffered -= n
 		h.inflight += n
-		seq := h.nextSeq
 		h.nextSeq += int64(n)
-		h.sendSegment(seq, seg, 1)
+		h.sendSegment(seg)
 	}
 	h.maybeDrain()
 }
 
 func (h *halfConn) maybeDrain() {
-	if h.onDrain != nil && len(h.buf) == 0 {
+	if h.onDrain != nil && h.buffered == 0 {
 		// Drain fires when the application buffer is empty: all pending
 		// bytes have been admitted into the congestion window. Small write
 		// buffers give the HTTP/2 scheduler frame-granular control over
 		// what is sent next (as in h2o).
-		cb := h.onDrain
-		h.s.Post(cb)
+		h.s.AtCall(h.s.Now(), callFunc, h.onDrain)
 	}
 }
 
-func (h *halfConn) sendSegment(seq int64, seg []byte, attempt int) {
-	h.sent += int64(len(seg))
+// callFunc invokes a func() passed as the event argument; it lets Post-like
+// notifications ride the pooled event path without a per-event closure.
+func callFunc(arg any) { arg.(func())() }
+
+func (h *halfConn) sendSegment(seg *segment) {
+	h.sent += int64(seg.size)
 	lost := h.lossRate > 0 && h.rng != nil && h.rng() < h.lossRate
-	if lost || !h.pipe.send(len(seg)+h.overhead, false, func() { h.onSegmentArrive(seq, seg) }) {
-		// Lost in the network or tail-dropped: retransmit after an RTO and
-		// fall back to slow start from half the window.
-		h.rtxCount++
-		h.ssthresh = h.cwnd / 2
-		if h.ssthresh < 2 {
-			h.ssthresh = 2
+	if !lost {
+		if at, ok := h.pipe.admit(seg.size+h.overhead, false); ok {
+			h.s.AtCall(at, deliverSegment, seg)
+			return
 		}
-		h.cwnd = float64(min(int(h.cwnd), 4))
-		rto := 2 * h.rtt
-		if rto < 100*time.Millisecond {
-			rto = 100 * time.Millisecond
-		}
-		h.s.After(rto*time.Duration(attempt), func() { h.sendSegment(seq, seg, attempt+1) })
+	}
+	// Lost in the network or tail-dropped: retransmit after an RTO and
+	// fall back to slow start from half the window. After Close no new
+	// timer may be armed (Close cancelled the existing ones); the
+	// segment is abandoned like the rest of the send buffer.
+	if h.closed {
 		return
 	}
+	h.rtxCount++
+	h.ssthresh = h.cwnd / 2
+	if h.ssthresh < 2 {
+		h.ssthresh = 2
+	}
+	h.cwnd = float64(min(int(h.cwnd), 4))
+	rto := 2 * h.rtt
+	if rto < 100*time.Millisecond {
+		rto = 100 * time.Millisecond
+	}
+	attempt := seg.attempt
+	seg.attempt++
+	var ev *sim.Event
+	ev = h.s.After(rto*time.Duration(attempt), func() {
+		h.dropRtx(ev)
+		h.sendSegment(seg)
+	})
+	h.rtx = append(h.rtx, ev)
+}
+
+func (h *halfConn) dropRtx(ev *sim.Event) {
+	for i, e := range h.rtx {
+		if e == ev {
+			last := len(h.rtx) - 1
+			h.rtx[i] = h.rtx[last]
+			h.rtx[last] = nil
+			h.rtx = h.rtx[:last]
+			return
+		}
+	}
+}
+
+// closeHalf stops this direction's retransmit timers; in-flight segments
+// still drain so the model's conservation properties hold.
+func (h *halfConn) closeHalf() {
+	h.closed = true
+	for _, ev := range h.rtx {
+		ev.Cancel()
+	}
+	h.rtx = nil
+}
+
+// deliverSegment is the (pooled) delivery event for a data segment.
+func deliverSegment(arg any) {
+	seg := arg.(*segment)
+	h := seg.h
+	h.pipe.delivered += int64(seg.size + h.overhead)
+	h.onSegmentArrive(seg)
 }
 
 // onSegmentArrive reassembles the in-order byte stream at the receiver.
-func (h *halfConn) onSegmentArrive(seq int64, seg []byte) {
+func (h *halfConn) onSegmentArrive(seg *segment) {
 	switch {
-	case seq == h.expectSeq:
+	case seg.seq == h.expectSeq:
+		h.expectSeq += int64(seg.size)
 		h.deliver(seg)
-		h.expectSeq += int64(len(seg))
 		// Flush any buffered continuation.
-		for {
-			next, ok := h.ooo[h.expectSeq]
-			if !ok {
-				break
-			}
-			delete(h.ooo, h.expectSeq)
+		for len(h.ooo) > 0 && h.ooo[0].seq == h.expectSeq {
+			next := h.ooo[0]
+			copy(h.ooo, h.ooo[1:])
+			h.ooo[len(h.ooo)-1] = nil
+			h.ooo = h.ooo[:len(h.ooo)-1]
+			h.expectSeq += int64(next.size)
 			h.deliver(next)
-			h.expectSeq += int64(len(next))
 		}
-	case seq > h.expectSeq:
-		if h.ooo == nil {
-			h.ooo = map[int64][]byte{}
+	case seg.seq > h.expectSeq:
+		// Insert sorted; the list is tiny (loss is rare and windows small).
+		i := len(h.ooo)
+		for i > 0 && h.ooo[i-1].seq > seg.seq {
+			i--
 		}
-		h.ooo[seq] = seg
+		h.ooo = append(h.ooo, nil)
+		copy(h.ooo[i+1:], h.ooo[i:])
+		h.ooo[i] = seg
 	default:
-		// Duplicate (spurious retransmit): drop.
+		// Duplicate (spurious retransmit): drop the payload, still ACK.
+		seg.delivered = true
+		h.maybeFree(seg)
 	}
 	// ACK back through the reverse pipe. ACKs are never lost in the model
-	// (cumulative-ACK robustness is not modelled; see pipe.send).
-	h.ackPipe.send(h.overhead, true, func() { h.onAck(len(seg)) })
+	// (cumulative-ACK robustness is not modelled; see pipe.admit).
+	at, _ := h.ackPipe.admit(h.overhead, true)
+	h.s.AtCall(at, deliverAck, seg)
 }
 
-func (h *halfConn) deliver(seg []byte) {
+func (h *halfConn) deliver(seg *segment) {
 	if recv := h.peerRecv(); recv != nil {
-		recv(seg)
+		for _, part := range seg.parts {
+			recv(part)
+		}
+	}
+	seg.delivered = true
+	h.maybeFree(seg)
+}
+
+// deliverAck is the (pooled) ACK event; it reuses the segment struct that
+// carried the delivery.
+func deliverAck(arg any) {
+	seg := arg.(*segment)
+	h := seg.h
+	h.ackPipe.delivered += int64(h.overhead)
+	n := seg.size
+	seg.ackDone = true
+	h.maybeFree(seg)
+	h.onAck(n)
+}
+
+func (h *halfConn) maybeFree(seg *segment) {
+	if seg.delivered && seg.ackDone {
+		h.net.putSeg(seg)
 	}
 }
 
@@ -341,6 +558,7 @@ func (n *Network) Dial(onConnect func(*Conn)) *Conn {
 	mkHalf := func(dataPipe, ackPipe *pipe) *halfConn {
 		return &halfConn{
 			s:        n.Sim,
+			net:      n,
 			pipe:     dataPipe,
 			ackPipe:  ackPipe,
 			mss:      prof.MSS,
@@ -380,12 +598,15 @@ func (c *Conn) ClientEnd() *End { return c.clientEnd }
 // ServerEnd returns the origin-side endpoint.
 func (c *Conn) ServerEnd() *End { return c.serverEnd }
 
-// Close tears the connection down; further writes are dropped.
+// Close tears the connection down; further writes are dropped and any
+// pending retransmit timers are cancelled (removed from the event queue).
 func (c *Conn) Close() {
 	if c.closed {
 		return
 	}
 	c.closed = true
+	c.clientEnd.out.closeHalf()
+	c.serverEnd.out.closeHalf()
 	if c.clientEnd.onClose != nil {
 		c.clientEnd.onClose()
 	}
@@ -394,7 +615,9 @@ func (c *Conn) Close() {
 	}
 }
 
-// Write queues b for transmission to the peer end.
+// Write queues b for transmission to the peer end. Ownership of b
+// transfers to the transport: the bytes are delivered to the receiver as
+// zero-copy subslices, so the caller must not mutate b after Write.
 func (e *End) Write(b []byte) {
 	if e.conn.closed || len(b) == 0 {
 		return
@@ -405,14 +628,39 @@ func (e *End) Write(b []byte) {
 	e.out.write(b)
 }
 
+// WriteV queues several chunks as one contiguous write, pumping the
+// congestion window once: segmentation is identical to a single Write of
+// the concatenated bytes, without the concatenation. Ownership of every
+// chunk transfers to the transport (see Write). Empty chunks are skipped.
+func (e *End) WriteV(chunks [][]byte) {
+	if e.conn.closed {
+		return
+	}
+	total := 0
+	for _, b := range chunks {
+		total += len(b)
+	}
+	if total == 0 {
+		return
+	}
+	if !e.conn.established {
+		panic("netem: Write before connect")
+	}
+	e.out.writev(chunks)
+}
+
 // Buffered returns the bytes accepted by Write that have not yet been
-// admitted to the network (excluding in-flight bytes).
-func (e *End) Buffered() int { return len(e.out.buf) }
+// admitted to the network. In-flight (sent but un-acked) bytes are
+// excluded — they are reported by Inflight; Buffered+Inflight is the
+// total not yet acknowledged.
+func (e *End) Buffered() int { return e.out.buffered }
 
 // Inflight returns un-acked bytes for this end's direction.
 func (e *End) Inflight() int { return e.out.inflight }
 
 // SetReceiver installs the ordered byte stream consumer for this end.
+// The callback borrows its slice from the sender's buffers: it must copy
+// anything it retains after returning.
 func (e *End) SetReceiver(fn func([]byte)) { e.recv = fn }
 
 // SetOnDrain installs a callback invoked (asynchronously, same virtual

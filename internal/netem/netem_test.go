@@ -349,3 +349,110 @@ func TestProfileValidateRejectsNonsense(t *testing.T) {
 		t.Errorf("unlimited queue rejected: %v", err)
 	}
 }
+
+func TestBufferedExcludesInflight(t *testing.T) {
+	// End.Buffered reports bytes accepted by Write but not yet admitted
+	// to the congestion window; in-flight bytes are Inflight's job. The
+	// two partition everything not yet acked (there is deliberately no
+	// combined helper — see the End docs).
+	s, n := newNet(t, DSL())
+	total := 100 * 1024
+	n.Dial(func(c *Conn) {
+		c.ClientEnd().SetReceiver(func([]byte) {})
+		se := c.ServerEnd()
+		se.Write(make([]byte, total))
+		wantInflight := 10 * 1460 // IW10 admits exactly 10 full segments
+		if se.Inflight() != wantInflight {
+			t.Fatalf("Inflight = %d, want %d", se.Inflight(), wantInflight)
+		}
+		if se.Buffered() != total-wantInflight {
+			t.Fatalf("Buffered = %d, want %d (excluding in-flight)", se.Buffered(), total-wantInflight)
+		}
+	})
+	s.Run()
+}
+
+func TestWriteVMatchesSingleWrite(t *testing.T) {
+	// WriteV pumps once for all chunks: segmentation, and therefore
+	// delivery timing, is identical to one Write of the concatenation.
+	run := func(split bool) time.Duration {
+		s, n := newNet(t, DSL())
+		var done, start time.Duration
+		size := 50_000
+		payload := make([]byte, size)
+		received := 0
+		n.Dial(func(c *Conn) {
+			start = s.Now()
+			c.ClientEnd().SetReceiver(func(b []byte) {
+				received += len(b)
+				if received >= size {
+					done = s.Now()
+				}
+			})
+			if split {
+				c.ServerEnd().WriteV([][]byte{payload[:9], nil, payload[9:1700], payload[1700:]})
+			} else {
+				c.ServerEnd().Write(payload)
+			}
+		})
+		s.Run()
+		if received != size {
+			t.Fatalf("received %d bytes, want %d", received, size)
+		}
+		return done - start
+	}
+	if single, vectored := run(false), run(true); single != vectored {
+		t.Fatalf("WriteV timing %v differs from single Write %v", vectored, single)
+	}
+}
+
+func TestCloseCancelsRetransmitTimers(t *testing.T) {
+	prof := DSL()
+	prof.LossRate = 0.999 // the first segment is (deterministically) lost
+	s := sim.New(7)
+	n := New(s, prof)
+	var conn *Conn
+	n.Dial(func(c *Conn) {
+		conn = c
+		c.ClientEnd().SetReceiver(func([]byte) {})
+		c.ServerEnd().Write(make([]byte, 1000))
+		if c.ServerEnd().Retransmits() == 0 {
+			t.Fatal("expected the first segment to be lost")
+		}
+		before := s.Pending()
+		c.Close()
+		if s.Pending() >= before {
+			t.Fatalf("close left retransmit timers queued: pending %d -> %d", before, s.Pending())
+		}
+	})
+	s.Run()
+	// No event may arm a new retransmit timer after Close: the loss-heavy
+	// profile would otherwise keep rescheduling RTOs indefinitely.
+	if rtx := conn.ServerEnd().Retransmits(); rtx != 1 {
+		t.Fatalf("retransmit timers armed after close: count %d, want 1", rtx)
+	}
+}
+
+func TestSegmentStructsAreReleased(t *testing.T) {
+	// Steady-state transfer recycles segment structs through the
+	// network's free list instead of allocating one per segment.
+	s, n := newNet(t, DSL())
+	received := 0
+	n.Dial(func(c *Conn) {
+		c.ClientEnd().SetReceiver(func(b []byte) { received += len(b) })
+		c.ServerEnd().Write(make([]byte, 512*1024))
+	})
+	s.Run()
+	if received != 512*1024 {
+		t.Fatalf("received %d", received)
+	}
+	if len(n.segFree) == 0 {
+		t.Fatal("no segments returned to the free list")
+	}
+	// The pool peaks at the maximum number of concurrently in-flight
+	// segments (the congestion window), which must stay below the total
+	// segment count — otherwise no struct was ever reused.
+	if segs := 512 * 1024 / 1460; len(n.segFree) >= segs {
+		t.Fatalf("free list holds %d segments for a %d-segment transfer; pooling not effective", len(n.segFree), segs)
+	}
+}

@@ -5,6 +5,17 @@
 // owned by a Sim. Events are executed in strict timestamp order; ties are
 // broken by scheduling order, which makes every run bit-for-bit
 // reproducible for a given seed.
+//
+// # Scheduling APIs and allocation
+//
+// At/After/Post take a plain closure and return an *Event handle the
+// caller may Cancel; these events are heap-allocated and never reused, so
+// a stale handle can never observe an unrelated event. AtCall is the
+// hot-path variant: it takes a static callback plus an argument value,
+// returns no handle, and recycles the Event struct through a free list
+// once the event fires. Schedulers that post thousands of events per
+// simulated page load (the netem data plane) use AtCall to avoid both
+// the per-event closure and the per-event heap allocation.
 package sim
 
 import (
@@ -16,20 +27,30 @@ import (
 
 // Event is a scheduled callback. It is owned by the Sim that created it.
 type Event struct {
-	at     time.Duration
-	seq    uint64
-	fn     func()
-	index  int // heap index, -1 when not queued
-	cancel bool
+	at  time.Duration
+	seq uint64
+	fn  func()
+
+	// Pooled (AtCall) events carry a static callback + argument instead
+	// of a closure and are recycled after firing.
+	cb     func(any)
+	arg    any
+	pooled bool
+
+	s     *Sim
+	index int // heap index, -1 when not queued
 }
 
 // At returns the virtual time the event is scheduled for.
 func (e *Event) At() time.Duration { return e.at }
 
-// Cancel prevents a pending event from firing. Cancelling an event that
-// already fired is a no-op.
+// Cancel removes a pending event from the queue, so it neither fires nor
+// counts against Pending. Cancelling an event that already fired (or was
+// already cancelled) is a no-op.
 func (e *Event) Cancel() {
-	e.cancel = true
+	if e.index >= 0 {
+		heap.Remove(&e.s.queue, e.index)
+	}
 }
 
 type eventHeap []*Event
@@ -67,8 +88,10 @@ type Sim struct {
 	now     time.Duration
 	queue   eventHeap
 	seq     uint64
+	curSeq  uint64
 	rng     *rand.Rand
 	running bool
+	free    []*Event // recycled AtCall events
 	// Limit bounds the number of events processed by Run as a runaway
 	// guard. Zero means the default of 50 million events.
 	Limit int
@@ -94,9 +117,31 @@ func (s *Sim) At(t time.Duration, fn func()) *Event {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
 	}
 	s.seq++
-	e := &Event{at: t, seq: s.seq, fn: fn}
+	e := &Event{at: t, seq: s.seq, fn: fn, s: s}
 	heap.Push(&s.queue, e)
 	return e
+}
+
+// AtCall schedules cb(arg) at absolute virtual time t. Unlike At it
+// returns no handle (the event cannot be cancelled) and the Event struct
+// is pooled: hot-path schedulers use it with a static callback so a
+// scheduled event costs zero heap allocations. arg should be a pointer
+// (or other pointer-shaped value) to stay allocation-free.
+func (s *Sim) AtCall(t time.Duration, cb func(any), arg any) {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
+	}
+	s.seq++
+	var e *Event
+	if n := len(s.free); n > 0 {
+		e = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+	} else {
+		e = &Event{}
+	}
+	e.at, e.seq, e.cb, e.arg, e.s, e.pooled = t, s.seq, cb, arg, s, true
+	heap.Push(&s.queue, e)
 }
 
 // After schedules fn to run d from now. Negative d is treated as zero.
@@ -111,23 +156,44 @@ func (s *Sim) After(d time.Duration, fn func()) *Event {
 // events already queued for the current instant).
 func (s *Sim) Post(fn func()) *Event { return s.At(s.now, fn) }
 
-// Pending reports the number of events currently queued (including
-// cancelled events that have not yet been discarded).
+// Pending reports the number of events currently queued. Cancelled
+// events are removed immediately and never counted.
 func (s *Sim) Pending() int { return len(s.queue) }
+
+// ReserveSeq consumes and returns the next scheduling sequence number
+// without queueing an event. It exists for schedulers that replace a
+// formerly scheduled event with lazy bookkeeping (netem's merged
+// queue-release accounting) but must keep the tie-break ordering of every
+// remaining event bit-identical to the event-per-release implementation.
+func (s *Sim) ReserveSeq() uint64 {
+	s.seq++
+	return s.seq
+}
+
+// CurrentSeq returns the sequence number of the event currently being
+// executed (zero before the first event fires). Together with ReserveSeq
+// it lets lazy bookkeeping decide whether a virtual event "already fired"
+// at the current instant exactly as a real event would have.
+func (s *Sim) CurrentSeq() uint64 { return s.curSeq }
 
 // Step executes the single next event, advancing the clock.
 // It returns false when the queue is empty.
 func (s *Sim) Step() bool {
-	for len(s.queue) > 0 {
-		e := heap.Pop(&s.queue).(*Event)
-		if e.cancel {
-			continue
-		}
-		s.now = e.at
-		e.fn()
-		return true
+	if len(s.queue) == 0 {
+		return false
 	}
-	return false
+	e := heap.Pop(&s.queue).(*Event)
+	s.now = e.at
+	s.curSeq = e.seq
+	if e.pooled {
+		cb, arg := e.cb, e.arg
+		e.fn, e.cb, e.arg, e.pooled = nil, nil, nil, false
+		s.free = append(s.free, e)
+		cb(arg)
+	} else {
+		e.fn()
+	}
+	return true
 }
 
 // Run executes events until the queue drains, the event limit is hit, or

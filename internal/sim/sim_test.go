@@ -192,3 +192,72 @@ func TestNegativeAfterClamped(t *testing.T) {
 		t.Fatal("negative After never fired")
 	}
 }
+
+func TestCancelRemovesFromQueue(t *testing.T) {
+	s := New(1)
+	e := s.After(time.Millisecond, func() {})
+	s.After(2*time.Millisecond, func() {})
+	if s.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", s.Pending())
+	}
+	e.Cancel()
+	if s.Pending() != 1 {
+		t.Fatalf("cancelled event still queued: Pending = %d, want 1", s.Pending())
+	}
+	e.Cancel() // double cancel is a no-op
+	if n := s.Run(); n != 1 {
+		t.Fatalf("Run executed %d events, want 1", n)
+	}
+}
+
+func TestCancelAfterFiringIsNoop(t *testing.T) {
+	s := New(1)
+	e := s.After(time.Millisecond, func() {})
+	s.After(2*time.Millisecond, func() {})
+	s.RunUntil(time.Millisecond)
+	e.Cancel() // already fired: must not disturb the queue
+	if s.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", s.Pending())
+	}
+}
+
+func TestAtCallOrderingAndReuse(t *testing.T) {
+	s := New(1)
+	var got []int
+	record := func(arg any) { got = append(got, arg.(int)) }
+	// AtCall events interleave with closure events in strict (time, seq)
+	// order, and fired events are recycled without disturbing ordering.
+	s.AtCall(2*time.Millisecond, record, 2)
+	s.At(time.Millisecond, func() {
+		got = append(got, 1)
+		s.AtCall(2*time.Millisecond, record, 3)
+	})
+	s.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order %v, want %v", got, want)
+		}
+	}
+	// Pooled events are reused across rounds.
+	for round := 0; round < 3; round++ {
+		fired := 0
+		s.AtCall(s.Now()+time.Millisecond, func(any) { fired++ }, nil)
+		s.Run()
+		if fired != 1 {
+			t.Fatalf("round %d: fired %d", round, fired)
+		}
+	}
+}
+
+func TestReserveSeqAdvancesTieBreak(t *testing.T) {
+	s := New(1)
+	var got []int
+	s.At(time.Millisecond, func() { got = append(got, 1) })
+	s.ReserveSeq() // a virtual event "between" the two real ones
+	s.At(time.Millisecond, func() { got = append(got, 2) })
+	s.Run()
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("order %v, want [1 2]", got)
+	}
+}

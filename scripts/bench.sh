@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# bench.sh — run the perf-trajectory benchmarks and emit a JSON record.
+#
+# Usage: scripts/bench.sh [smoke|full] [out.json]
+#
+#   smoke  one iteration per benchmark (CI: proves the harness works)
+#   full   timed runs (default; override duration with BENCHTIME=5s)
+#
+# The default output path is BENCH_pr3.json in the repo root, the perf
+# baseline established by PR 3's zero-copy data plane. The checked-in
+# BENCH_pr3.json wraps two of these records ("before"/"after" the
+# refactor); subsequent PRs append their own BENCH_prN.json by pointing
+# the second argument at a new file.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mode="${1:-full}"
+out="${2:-BENCH_pr3.json}"
+
+args=(-run '^$' -bench 'PageLoad|ScenarioSweep|Engine' -benchmem)
+case "$mode" in
+smoke) args+=(-benchtime 1x) ;;
+full) args+=(-benchtime "${BENCHTIME:-2s}") ;;
+*)
+	echo "usage: $0 [smoke|full] [out.json]" >&2
+	exit 2
+	;;
+esac
+
+txt="$(go test "${args[@]}" .)"
+printf '%s\n' "$txt"
+
+printf '%s\n' "$txt" | awk -v mode="$mode" '
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	iters = $2
+	ns = "null"; bytes = "null"; allocs = "null"
+	for (i = 3; i < NF; i++) {
+		if ($(i + 1) == "ns/op") ns = $i
+		if ($(i + 1) == "B/op") bytes = $i
+		if ($(i + 1) == "allocs/op") allocs = $i
+	}
+	recs[n++] = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+		name, iters, ns, bytes, allocs)
+}
+END {
+	printf "{\n  \"mode\": \"%s\",\n  \"results\": [\n", mode
+	for (i = 0; i < n; i++) printf "%s%s\n", recs[i], (i < n - 1 ? "," : "")
+	printf "  ]\n}\n"
+}' >"$out"
+
+echo "wrote $out"
