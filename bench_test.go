@@ -340,6 +340,25 @@ func BenchmarkEngineParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineParallelJobs sweeps the worker-pool size so the
+// engine's scaling curve is a first-class benchmark: on a >=4-core
+// machine Jobs=4 must beat Jobs=1 on wall clock (the tables are
+// byte-identical either way). Allocations per op should be flat across
+// the sweep — per-worker run contexts amortize setup regardless of
+// pool size.
+func BenchmarkEngineParallelJobs(b *testing.B) {
+	for _, jobs := range []int{1, 2, 4, 8} {
+		b.Run("Jobs="+strconv.Itoa(jobs), func(b *testing.B) {
+			sc := benchScale()
+			sc.Jobs = jobs
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				core.Fig2bPushVsNoPush(sc)
+			}
+		})
+	}
+}
+
 // BenchmarkPageLoad measures raw single-load simulation throughput.
 func BenchmarkPageLoad(b *testing.B) {
 	site := corpus.Generate(corpus.RandomProfile(), 0, 1)

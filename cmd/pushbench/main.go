@@ -17,19 +17,33 @@
 //	pushbench -experiment scenarios -scenario lte,3g   # just these links
 //
 // -experiment is an alias for -exp.
+//
+// For performance work, -cpuprofile and -memprofile write pprof
+// profiles of the selected experiment run, so a perf investigation can
+// profile any experiment at any scale without an ad-hoc harness:
+//
+//	pushbench -exp fig2b -scale paper -cpuprofile cpu.out -memprofile mem.out
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/core"
 	"repro/internal/scenario"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run carries the whole command so error paths return instead of
+// calling os.Exit directly: the deferred profile writers (StopCPUProfile,
+// WriteHeapProfile) must flush even when an experiment or flag fails,
+// or a -cpuprofile file would be left truncated and unparseable.
+func run() int {
 	var exp string
 	flag.StringVar(&exp, "exp", "all", "experiment: fig1|fig2a|fig2b|pushable|fig3a|fig3b|types|fig4|fig5|fig6|scenarios|all")
 	flag.StringVar(&exp, "experiment", "all", "alias for -exp")
@@ -40,7 +54,37 @@ func main() {
 	nsites := flag.Int("nsites", 0, "override sites per set")
 	popN := flag.Int("population", 200_000, "population size for fig1")
 	jobs := flag.Int("jobs", 0, "worker-pool size (0 = GOMAXPROCS, 1 = sequential); output is identical for any value")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
+	memProfile := flag.String("memprofile", "", "write an allocation profile taken after the experiment run to this file")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			return 2
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle accounting so the profile shows live + cumulative allocs
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	scale := core.SmallScale()
 	if *scaleName == "paper" {
@@ -66,49 +110,44 @@ func main() {
 			sc, err := scenario.ByName(n)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
-				os.Exit(2)
+				return 2
 			}
 			scenarios = append(scenarios, sc)
 		}
 	}
 
-	one := func(t *core.Table) []*core.Table { return []*core.Table{t} }
-	experiments := map[string]func() []*core.Table{
-		"fig1":     func() []*core.Table { return one(core.Fig1Adoption(*popN, scale.Seed)) },
-		"fig2a":    func() []*core.Table { return one(core.Fig2aVariability(scale)) },
-		"fig2b":    func() []*core.Table { return one(core.Fig2bPushVsNoPush(scale)) },
-		"pushable": func() []*core.Table { return one(core.PushableObjects(scale)) },
-		"fig3a":    func() []*core.Table { return one(core.Fig3aPushAll(scale)) },
-		"fig3b":    func() []*core.Table { return one(core.Fig3bPushAmount(scale)) },
-		"types":    func() []*core.Table { return one(core.PushByTypeAnalysis(scale)) },
-		"fig4":     func() []*core.Table { return one(core.Fig4Synthetic(scale)) },
-		"fig5":     func() []*core.Table { return one(core.Fig5Interleaving(scale.Runs, scale.Seed, scale.Jobs)) },
-		"fig6":     func() []*core.Table { return one(core.Fig6Popular(fig6Sites, scale)) },
-		"scenarios": func() []*core.Table {
-			tabs, err := core.ScenarioSweep(scenarios, scale)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(2)
-			}
-			return tabs
-		},
+	one := func(t *core.Table) ([]*core.Table, error) { return []*core.Table{t}, nil }
+	experiments := map[string]func() ([]*core.Table, error){
+		"fig1":      func() ([]*core.Table, error) { return one(core.Fig1Adoption(*popN, scale.Seed)) },
+		"fig2a":     func() ([]*core.Table, error) { return one(core.Fig2aVariability(scale)) },
+		"fig2b":     func() ([]*core.Table, error) { return one(core.Fig2bPushVsNoPush(scale)) },
+		"pushable":  func() ([]*core.Table, error) { return one(core.PushableObjects(scale)) },
+		"fig3a":     func() ([]*core.Table, error) { return one(core.Fig3aPushAll(scale)) },
+		"fig3b":     func() ([]*core.Table, error) { return one(core.Fig3bPushAmount(scale)) },
+		"types":     func() ([]*core.Table, error) { return one(core.PushByTypeAnalysis(scale)) },
+		"fig4":      func() ([]*core.Table, error) { return one(core.Fig4Synthetic(scale)) },
+		"fig5":      func() ([]*core.Table, error) { return one(core.Fig5Interleaving(scale.Runs, scale.Seed, scale.Jobs)) },
+		"fig6":      func() ([]*core.Table, error) { return one(core.Fig6Popular(fig6Sites, scale)) },
+		"scenarios": func() ([]*core.Table, error) { return core.ScenarioSweep(scenarios, scale) },
 	}
 	order := []string{"fig1", "fig2a", "fig2b", "pushable", "fig3a", "fig3b", "types", "fig4", "fig5", "fig6", "scenarios"}
 
+	names := []string{exp}
 	if exp == "all" {
-		for _, name := range order {
-			for _, t := range experiments[name]() {
-				t.Print(os.Stdout)
-			}
-		}
-		return
-	}
-	fn, ok := experiments[exp]
-	if !ok {
+		names = order
+	} else if _, ok := experiments[exp]; !ok {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q (have: %s, all)\n", exp, strings.Join(order, ", "))
-		os.Exit(2)
+		return 2
 	}
-	for _, t := range fn() {
-		t.Print(os.Stdout)
+	for _, name := range names {
+		tabs, err := experiments[name]()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		for _, t := range tabs {
+			t.Print(os.Stdout)
+		}
 	}
+	return 0
 }

@@ -43,11 +43,32 @@
 // received from it must be copied if retained beyond the callback.
 // Hot-path events ride sim.AtCall (pooled Event structs, static
 // callbacks) and netem pools per-segment state, so steady-state
-// transfer allocates nothing per segment. Experiment tables are pinned
-// byte-for-byte across this machinery by golden-fixture tests
-// (internal/core/testdata), and allocation budgets are enforced by
-// regression tests; scripts/bench.sh tracks the perf trajectory
-// (BENCH_pr3.json).
+// transfer allocates nothing per segment.
+//
+// # Prepared sites and run contexts
+//
+// On top of the zero-copy transfer path, per-run work is split into
+// "prepare once, replay many". Everything that is a pure function of a
+// recorded site — the parsed base document (htmlx), the parsed
+// stylesheets (cssx), the browser's layout/milestone/URL-resolution
+// bundle, and the strategy layer's critical-set analysis and rewritten
+// site — is computed once per site (replay.Site.Prepared, a lazy,
+// once-guarded derivation) and shared read-only across every simulation
+// worker. The immutability rule mirrors the byte-path rule: anything
+// reachable from a Prepared is frozen after construction; per-run
+// mutable state (fetch progress, paint bitsets, scaled third-party
+// bodies) lives in a core.RunContext, which owns a resettable
+// simulator, emulated network, server farm, browser loader and overlay
+// scratch. The engine creates one RunContext per worker and threads it
+// through every run that worker executes (core.Testbed.RunOnceWith);
+// contexts never cross workers and cache only scratch, never results,
+// so reuse cannot change any output. Experiment tables are pinned
+// byte-for-byte across all of this machinery by golden-fixture tests
+// (internal/core/testdata) at Jobs=1 and Jobs=N under -race, and
+// allocation budgets are enforced by regression tests
+// (TestPageLoadAllocBudget, TestRunContextReuseAllocBudget);
+// scripts/bench.sh tracks the perf trajectory (BENCH_pr3.json,
+// BENCH_pr4.json).
 //
 // See README.md for building, running the experiment drivers
 // (cmd/pushbench) and benchmarking. bench_test.go regenerates every

@@ -10,13 +10,14 @@ import (
 // visualUnit is one paintable piece of the page in the block layout
 // model: an image or a run of text. Units stack vertically in document
 // order; the portion above the fold contributes to visual progress.
+// Units are immutable once laid out — they are part of the shared
+// prepared page; per-run paint state is the Loader's painted bitset.
 type visualUnit struct {
 	offset  int     // byte offset in the document (DOM availability)
 	area    float64 // above-the-fold area in px^2
 	isImage bool
 	imgURL  string // for images: the resource that must be loaded
 	fontFam string // for text: required webfont family ("" = system font)
-	painted bool
 }
 
 // layoutResult is the static layout pass over a parsed document.

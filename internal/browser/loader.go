@@ -67,15 +67,25 @@ type resource struct {
 
 	start, end time.Duration
 	bytes      int
-	body       []byte
+	body       []byte // accumulated only for entry-less CSS/JS responses
 	weight     uint8
 	parent     uint32
 
-	sheet       *cssx.Stylesheet
 	pendingImps map[string]bool // outstanding @imports
 
 	onLoaded    []func()
 	cssReadyCBs []func()
+}
+
+// content returns the resource's full body once loaded. Entry-backed
+// resources read the immutable recorded body directly (the transport
+// delivered exactly those bytes, zero-copy), so the loader never
+// re-accumulates them; only entry-less responses carry a per-run copy.
+func (r *resource) content() []byte {
+	if r.entry != nil {
+		return r.entry.Body
+	}
+	return r.body
 }
 
 type conn struct {
@@ -89,8 +99,10 @@ type conn struct {
 
 type milestone struct {
 	offset int
-	// exactly one of these is set
+	// exactly one of res/script/style is set; idx is the doc.Resources
+	// index when res is set.
 	res    *htmlx.Resource
+	idx    int
 	script *htmlx.InlineScript
 	style  *htmlx.InlineStyle
 }
@@ -105,7 +117,12 @@ type cssWaiter struct {
 	fn     func()
 }
 
-// Loader drives one page load inside the simulator.
+// Loader drives one page load inside the simulator. A Loader is
+// reusable: Reset re-arms it for another run while keeping its maps,
+// slices and pooled resource structs warm, so steady-state runs do not
+// re-grow any of the per-run bookkeeping. All static page state lives
+// in the shared preparedPage; everything on the Loader is owned by the
+// current run only.
 type Loader struct {
 	s    *sim.Sim
 	farm *replay.Farm
@@ -113,13 +130,14 @@ type Loader struct {
 	cfg  Config
 	res  *Result
 
+	pp *preparedPage
+
 	conns     map[string]*conn
 	resources map[string]*resource
+	resFree   []*resource
 
-	doc        *htmlx.Document
-	lay        *layoutResult
-	milestones []milestone
-	mi         int
+	mi      int
+	scanIdx int // first doc.Resources index the preload scanner has not covered
 
 	received     int
 	htmlComplete bool
@@ -135,28 +153,72 @@ type Loader struct {
 
 	deferred []*resource
 
-	mainHost  string
-	painted   float64
-	loadFired bool
-	horizon   *sim.Event
-	baseEntry *replay.Entry
+	mainHost    string
+	unitPainted []bool // aligned with pp.lay.units
+	painted     float64
+	loadFired   bool
+	horizon     *sim.Event
+	baseEntry   *replay.Entry
 }
 
 // New prepares a loader for the farm's site.
 func New(s *sim.Sim, farm *replay.Farm, cfg Config) *Loader {
-	return &Loader{
-		s:         s,
-		farm:      farm,
-		site:      farm.Site,
-		cfg:       cfg,
-		res:       &Result{},
-		conns:     map[string]*conn{},
-		resources: map[string]*resource{},
-		fonts:     map[string]*resource{},
-	}
+	ld := &Loader{}
+	ld.Reset(s, farm, cfg)
+	return ld
 }
 
-// Result returns the load outcome; call after the simulation ran.
+// Reset re-arms the loader for a new run on (a possibly different) farm
+// and config. The previous run's Result must not be read after Reset:
+// its slices are recycled into the new run's Result.
+func (ld *Loader) Reset(s *sim.Sim, farm *replay.Farm, cfg Config) {
+	ld.s, ld.farm, ld.site, ld.cfg = s, farm, farm.Site, cfg
+	if ld.res == nil {
+		ld.res = &Result{}
+	} else {
+		progress, timings := ld.res.Progress[:0], ld.res.Timings[:0]
+		*ld.res = Result{Progress: progress, Timings: timings}
+	}
+	if ld.conns == nil {
+		ld.conns = map[string]*conn{}
+		ld.resources = map[string]*resource{}
+		ld.fonts = map[string]*resource{}
+	} else {
+		for _, r := range ld.resources {
+			*r = resource{}
+			ld.resFree = append(ld.resFree, r)
+		}
+		clear(ld.conns)
+		clear(ld.resources)
+		clear(ld.fonts)
+	}
+	ld.pp = nil
+	ld.mi, ld.scanIdx = 0, 0
+	ld.received, ld.htmlComplete, ld.parsePos = 0, false, 0
+	ld.parsing, ld.parserBlock, ld.execBlocked, ld.parserDone = false, nil, false, false
+	ld.cssRefs = ld.cssRefs[:0]
+	ld.cssWaiters = ld.cssWaiters[:0]
+	ld.deferred = ld.deferred[:0]
+	ld.mainHost = ""
+	ld.unitPainted = ld.unitPainted[:0]
+	ld.painted = 0
+	ld.loadFired = false
+	ld.horizon = nil
+	ld.baseEntry = nil
+}
+
+func (ld *Loader) newResource() *resource {
+	if n := len(ld.resFree); n > 0 {
+		r := ld.resFree[n-1]
+		ld.resFree[n-1] = nil
+		ld.resFree = ld.resFree[:n-1]
+		return r
+	}
+	return &resource{}
+}
+
+// Result returns the load outcome; call after the simulation ran. The
+// returned value is owned by the loader and recycled on Reset.
 func (ld *Loader) Result() *Result { return ld.res }
 
 // Start begins the navigation: dial the base origin and request the
@@ -169,9 +231,23 @@ func (ld *Loader) Start() {
 		ld.res.Completed = false
 		return
 	}
-	ld.prepareDocument(ld.baseEntry.Body)
+	ld.pp = preparedPageFor(ld.site, ld.baseEntry, ld.cfg.ViewportW, ld.cfg.ViewportH)
+	if n := len(ld.pp.lay.units); cap(ld.unitPainted) >= n {
+		ld.unitPainted = ld.unitPainted[:n]
+		for i := range ld.unitPainted {
+			ld.unitPainted[i] = false
+		}
+	} else {
+		ld.unitPainted = make([]bool, n)
+	}
+	// Pre-register render-blocking CSS references (everything except
+	// print stylesheets blocks paint of content after its reference).
+	for _, pc := range ld.pp.cssRefs {
+		res := ld.ensureResourceKey(ld.pp.refURL[pc.idx], ld.pp.refKey[pc.idx], page.KindCSS)
+		ld.cssRefs = append(ld.cssRefs, cssRef{offset: pc.offset, res: res})
+	}
 
-	r := ld.ensureResource(base, page.KindHTML)
+	r := ld.ensureResourceKey(base, ld.pp.baseKey, page.KindHTML)
 	r.discovered = true
 	r.requested = true
 	c := ld.connFor(base.Authority)
@@ -214,54 +290,27 @@ func (ld *Loader) Start() {
 	}
 }
 
-// prepareDocument parses the full document once; all *timing* is still
-// gated on received bytes and compute delays (see package comment).
-func (ld *Loader) prepareDocument(raw []byte) {
-	ld.doc = htmlx.Parse(raw)
-	ld.lay = layout(ld.doc, ld.cfg.ViewportW, ld.cfg.ViewportH)
-	for i := range ld.doc.Resources {
-		r := &ld.doc.Resources[i]
-		ld.milestones = append(ld.milestones, milestone{offset: r.Offset, res: r})
-	}
-	for i := range ld.doc.InlineScripts {
-		s := &ld.doc.InlineScripts[i]
-		ld.milestones = append(ld.milestones, milestone{offset: s.Offset, script: s})
-	}
-	for i := range ld.doc.InlineStyles {
-		st := &ld.doc.InlineStyles[i]
-		ld.milestones = append(ld.milestones, milestone{offset: st.Offset, style: st})
-	}
-	sort.SliceStable(ld.milestones, func(i, j int) bool {
-		return ld.milestones[i].offset < ld.milestones[j].offset
-	})
-	// Pre-register render-blocking CSS references (everything except
-	// print stylesheets blocks paint of content after its reference).
-	for i := range ld.doc.Resources {
-		r := &ld.doc.Resources[i]
-		if r.Tag == "link" && r.Media != "print" {
-			u, err := page.ParseURL(r.URL, ld.site.Base)
-			if err != nil {
-				continue
-			}
-			res := ld.ensureResource(u, page.KindCSS)
-			ld.cssRefs = append(ld.cssRefs, cssRef{offset: r.Offset, res: res})
-		}
-	}
-}
-
 // --- resource bookkeeping ---
 
-func (ld *Loader) ensureResource(u page.URL, kind page.Kind) *resource {
-	key := u.String()
+// ensureResourceKey is ensureResource with the canonical key already
+// computed; the prepared page pre-computes keys so the per-run path
+// never re-renders URL strings.
+func (ld *Loader) ensureResourceKey(u page.URL, key string, kind page.Kind) *resource {
 	if r, ok := ld.resources[key]; ok {
 		return r
 	}
-	r := &resource{url: u, key: key, kind: kind, entry: ld.site.DB.Lookup(u.Authority, u.Path)}
+	r := ld.newResource()
+	r.url, r.key, r.kind = u, key, kind
+	r.entry = ld.site.DB.Lookup(u.Authority, u.Path)
 	if r.entry != nil && kind == page.KindOther {
 		r.kind = r.entry.Kind()
 	}
 	ld.resources[key] = r
 	return r
+}
+
+func (ld *Loader) ensureResource(u page.URL, kind page.Kind) *resource {
+	return ld.ensureResourceKey(u, u.String(), kind)
 }
 
 func classWeight(kind page.Kind, async bool) uint8 {
@@ -318,7 +367,7 @@ func (ld *Loader) fetch(r *resource, async bool) {
 
 func (ld *Loader) onChunk(r *resource, chunk []byte) {
 	r.bytes += len(chunk)
-	if r.kind == page.KindCSS || r.kind == page.KindJS {
+	if r.entry == nil && (r.kind == page.KindCSS || r.kind == page.KindJS) {
 		r.body = append(r.body, chunk...)
 	}
 }
@@ -378,35 +427,29 @@ func (ld *Loader) onPush(promised *h2.ClientStream) bool {
 
 // preloadScan discovers resource references in all received (not
 // necessarily parsed) bytes, modelling Chromium's lookahead scanner.
+// References are covered exactly once: doc.Resources is in byte order,
+// so a persistent index replaces the re-scan from the document start.
 func (ld *Loader) preloadScan() {
 	if !ld.cfg.PreloadScanner {
 		return
 	}
-	for i := range ld.doc.Resources {
-		ref := &ld.doc.Resources[i]
-		if ref.Offset > ld.received {
-			break
+	for ld.scanIdx < len(ld.pp.doc.Resources) {
+		if ld.pp.doc.Resources[ld.scanIdx].Offset > ld.received {
+			return
 		}
-		ld.discoverRef(ref)
+		ld.discoverIdx(ld.scanIdx)
+		ld.scanIdx++
 	}
 }
 
-// discoverRef fetches the resource behind a document reference.
-func (ld *Loader) discoverRef(ref *htmlx.Resource) *resource {
-	u, err := page.ParseURL(ref.URL, ld.site.Base)
-	if err != nil {
+// discoverIdx fetches the resource behind document reference i, using
+// the prepared page's pre-resolved URL, key and kind.
+func (ld *Loader) discoverIdx(i int) *resource {
+	if !ld.pp.refOK[i] {
 		return nil
 	}
-	kind := page.KindFromPath(u.Path)
-	switch ref.Tag {
-	case "link":
-		kind = page.KindCSS
-	case "script":
-		kind = page.KindJS
-	case "img":
-		kind = page.KindImage
-	}
-	r := ld.ensureResource(u, kind)
+	ref := &ld.pp.doc.Resources[i]
+	r := ld.ensureResourceKey(ld.pp.refURL[i], ld.pp.refKey[i], ld.pp.refKind[i])
 	ld.fetch(r, ref.Async || ref.Defer)
 	return r
 }
@@ -424,13 +467,13 @@ func (ld *Loader) computeDelay(ms float64) time.Duration {
 }
 
 func (ld *Loader) advanceParser() {
-	if ld.parsing || ld.parserDone || ld.parserBlock != nil || ld.execBlocked || ld.doc == nil {
+	if ld.parsing || ld.parserDone || ld.parserBlock != nil || ld.execBlocked || ld.pp == nil {
 		return
 	}
-	target := len(ld.doc.Raw)
+	target := len(ld.pp.doc.Raw)
 	atMilestone := false
-	if ld.mi < len(ld.milestones) {
-		target = ld.milestones[ld.mi].offset
+	if ld.mi < len(ld.pp.milestones) {
+		target = ld.pp.milestones[ld.mi].offset
 		atMilestone = true
 	}
 	if target > ld.received {
@@ -468,11 +511,11 @@ func (ld *Loader) scheduleParse(to int, milestone bool) {
 }
 
 func (ld *Loader) handleMilestone() {
-	m := ld.milestones[ld.mi]
+	m := ld.pp.milestones[ld.mi]
 	ld.mi++
 	switch {
 	case m.res != nil:
-		r := ld.discoverRef(m.res)
+		r := ld.discoverIdx(m.idx)
 		if r != nil && m.res.Tag == "script" {
 			if m.res.Defer {
 				ld.deferred = append(ld.deferred, r)
@@ -496,7 +539,7 @@ func (ld *Loader) handleMilestone() {
 func (ld *Loader) blockOnScript(r *resource, offset int) {
 	ld.parserBlock = r
 	run := func() {
-		cost := float64(len(r.body)) / ld.cfg.JSExecRate
+		cost := float64(len(r.content())) / ld.cfg.JSExecRate
 		if r.entry != nil {
 			cost += r.entry.Meta.ExecMS
 		}
@@ -554,7 +597,7 @@ func (ld *Loader) notifyCSSWaiters() {
 }
 
 func (ld *Loader) finishParsing() {
-	if ld.parserDone || !ld.htmlComplete || ld.parsePos < len(ld.doc.Raw) {
+	if ld.parserDone || !ld.htmlComplete || ld.parsePos < len(ld.pp.doc.Raw) {
 		return
 	}
 	ld.parserDone = true
@@ -569,7 +612,7 @@ func (ld *Loader) runDeferred(i int) {
 	}
 	r := ld.deferred[i]
 	run := func() {
-		cost := float64(len(r.body)) / ld.cfg.JSExecRate
+		cost := float64(len(r.content())) / ld.cfg.JSExecRate
 		if r.entry != nil {
 			cost += r.entry.Meta.ExecMS
 		}
@@ -597,7 +640,7 @@ func (ld *Loader) onLoaded(r *resource) {
 	r.onLoaded = nil
 	switch r.kind {
 	case page.KindCSS:
-		d := ld.computeDelay(float64(len(r.body)) / ld.cfg.CSSParseRate)
+		d := ld.computeDelay(float64(len(r.content())) / ld.cfg.CSSParseRate)
 		if r.entry != nil {
 			d += ld.computeDelay(r.entry.Meta.ParseMS)
 		}
@@ -606,7 +649,7 @@ func (ld *Loader) onLoaded(r *resource) {
 		r.ready = true
 		if ld.parserBlock != r {
 			// Async or pushed-ahead script: execute off the parser path.
-			cost := float64(len(r.body)) / ld.cfg.JSExecRate
+			cost := float64(len(r.content())) / ld.cfg.JSExecRate
 			if r.entry != nil {
 				cost += r.entry.Meta.ExecMS
 			}
@@ -626,41 +669,39 @@ func (ld *Loader) onLoaded(r *resource) {
 	ld.checkLoad()
 }
 
+// sheetInfoFor returns the resource's resolved stylesheet references,
+// from the prepared page when the resource is an untouched recorded
+// entry fetched under its recorded URL, parsing per run otherwise
+// (scaled overlay bodies, query-stripped fuzzy matches).
+func (ld *Loader) sheetInfoFor(r *resource) *sheetInfo {
+	if r.entry != nil && ld.pp.sheets != nil && r.url == r.entry.URL {
+		if si, ok := ld.pp.sheets[r.entry]; ok {
+			return si
+		}
+	}
+	return buildSheetInfo(cssx.Parse(r.content()), r.url)
+}
+
 func (ld *Loader) onCSSParsed(r *resource) {
-	r.sheet = cssx.Parse(string(r.body))
+	si := ld.sheetInfoFor(r)
 	// Fonts and asset images become fetchable only now (they are not
 	// preload-scannable), which is why the paper pushes "hidden" fonts.
-	for _, ff := range r.sheet.FontFaces {
-		if ff.URL == "" || ff.Family == "" {
-			continue
-		}
-		u, err := page.ParseURL(ff.URL, r.url)
-		if err != nil {
-			continue
-		}
-		fr := ld.ensureResource(u, page.KindFont)
-		if _, ok := ld.fonts[ff.Family]; !ok {
-			ld.fonts[ff.Family] = fr
+	for _, f := range si.fonts {
+		fr := ld.ensureResourceKey(f.u, f.key, page.KindFont)
+		if _, ok := ld.fonts[f.family]; !ok {
+			ld.fonts[f.family] = fr
 		}
 		ld.fetch(fr, false)
 	}
-	for _, asset := range r.sheet.AssetURLs {
-		u, err := page.ParseURL(asset, r.url)
-		if err != nil {
-			continue
-		}
-		ar := ld.ensureResource(u, page.KindImage)
+	for _, a := range si.assets {
+		ar := ld.ensureResourceKey(a.u, a.key, page.KindImage)
 		ld.fetch(ar, true)
 	}
 	// @imports must be ready before this sheet counts as ready.
-	if len(r.sheet.Imports) > 0 {
+	if len(si.imports) > 0 {
 		r.pendingImps = map[string]bool{}
-		for _, imp := range r.sheet.Imports {
-			u, err := page.ParseURL(imp, r.url)
-			if err != nil {
-				continue
-			}
-			ir := ld.ensureResource(u, page.KindCSS)
+		for _, imp := range si.imports {
+			ir := ld.ensureResourceKey(imp.u, imp.key, page.KindCSS)
 			if ir.ready {
 				continue
 			}
@@ -712,7 +753,7 @@ func (ld *Loader) markCSSReady(r *resource) {
 
 // --- paint & load ---
 
-func (ld *Loader) unitReady(u *visualUnit) bool {
+func (ld *Loader) unitReady(i int, u *visualUnit) bool {
 	if ld.parsePos < u.offset {
 		return false
 	}
@@ -722,9 +763,8 @@ func (ld *Loader) unitReady(u *visualUnit) bool {
 		}
 	}
 	if u.isImage && u.imgURL != "" {
-		iu, err := page.ParseURL(u.imgURL, ld.site.Base)
-		if err == nil {
-			if r, ok := ld.resources[iu.String()]; ok && !r.loaded {
+		if key := ld.pp.unitImgKey[i]; key != "" {
+			if r, ok := ld.resources[key]; ok && !r.loaded {
 				return false
 			}
 		}
@@ -741,13 +781,13 @@ func (ld *Loader) unitReady(u *visualUnit) bool {
 }
 
 func (ld *Loader) tryPaint() {
-	if ld.lay == nil || ld.lay.totalATFArea == 0 {
+	if ld.pp == nil || ld.pp.lay.totalATFArea == 0 {
 		return
 	}
 	changed := false
-	for _, u := range ld.lay.units {
-		if !u.painted && ld.unitReady(u) {
-			u.painted = true
+	for i, u := range ld.pp.lay.units {
+		if !ld.unitPainted[i] && ld.unitReady(i, u) {
+			ld.unitPainted[i] = true
 			ld.painted += u.area
 			changed = true
 		}
@@ -756,7 +796,7 @@ func (ld *Loader) tryPaint() {
 		return
 	}
 	now := ld.s.Now()
-	frac := ld.painted / ld.lay.totalATFArea
+	frac := ld.painted / ld.pp.lay.totalATFArea
 	rel := now - ld.res.ConnectEnd
 	if len(ld.res.Progress) > 0 && ld.res.Progress[len(ld.res.Progress)-1].T == rel {
 		ld.res.Progress[len(ld.res.Progress)-1].Fraction = frac

@@ -1,0 +1,215 @@
+package browser
+
+import (
+	"sort"
+	"strconv"
+
+	"repro/internal/cssx"
+	"repro/internal/htmlx"
+	"repro/internal/page"
+	"repro/internal/replay"
+)
+
+// preparedPage is the browser model's once-per-(site, viewport)
+// derivation of a recorded page: the parsed document, the static
+// layout, the milestone schedule, and every document/stylesheet URL
+// pre-resolved against its base. It is computed once via the site's
+// replay.Prepared memo and then shared read-only by every run of every
+// worker; all per-run mutable state (what has been fetched, parsed or
+// painted) stays on the Loader.
+type preparedPage struct {
+	doc *htmlx.Document
+	lay *layoutResult
+
+	milestones []milestone
+
+	// Per doc.Resources index: the reference URL resolved against the
+	// site base (refOK false when unparseable), its canonical string key
+	// and its fetch kind (tag-adjusted, as discoverRef computed it).
+	refURL  []page.URL
+	refKey  []string
+	refOK   []bool
+	refKind []page.Kind
+
+	// Render-blocking CSS references (link tags, non-print media) in
+	// document order, by doc.Resources index.
+	cssRefs []preparedCSSRef
+
+	// unitImgKey[i] is the resolved resource key of lay.units[i]'s image
+	// ("" for text units and unresolvable image URLs).
+	unitImgKey []string
+
+	// baseKey is the site base URL's canonical string.
+	baseKey string
+
+	// sheets maps the site's recorded CSS entries to their pre-resolved
+	// reference lists. Entries replaced by an overlay or rewrite miss
+	// here and are parsed per run.
+	sheets map[*replay.Entry]*sheetInfo
+}
+
+type preparedCSSRef struct {
+	offset int
+	idx    int
+}
+
+// sheetInfo is a stylesheet's outgoing references resolved against the
+// sheet's own recorded URL: the inputs to font/asset/import discovery.
+type sheetInfo struct {
+	fonts   []fontRef
+	assets  []urlRef
+	imports []urlRef
+}
+
+type fontRef struct {
+	family string
+	u      page.URL
+	key    string
+}
+
+type urlRef struct {
+	u   page.URL
+	key string
+}
+
+// pageMemoKey names the browser's prepared-page memo slot for a
+// viewport (different viewports lay out differently).
+func pageMemoKey(w, h int) string {
+	return "browser.page:" + strconv.Itoa(w) + "x" + strconv.Itoa(h)
+}
+
+// preparedPageFor returns the shared prepared page for site when its
+// base entry is the prepared one, building and memoizing it on first
+// use; otherwise (a per-run scaled base document) it builds a private,
+// unshared bundle so behavior is identical either way.
+func preparedPageFor(site *replay.Site, baseEntry *replay.Entry, w, h int) *preparedPage {
+	prep := site.Prepared()
+	if prep.BaseEntry() == baseEntry {
+		return prep.Memo(pageMemoKey(w, h), func() any {
+			return buildPreparedPage(prep.DocOf(baseEntry), site, w, h, prep)
+		}).(*preparedPage)
+	}
+	return buildPreparedPage(htmlx.Parse(baseEntry.Body), site, w, h, nil)
+}
+
+// buildPreparedPage performs the full static derivation for one parsed
+// document. prep may be nil (no shared stylesheet cache).
+func buildPreparedPage(doc *htmlx.Document, site *replay.Site, w, h int, prep *replay.Prepared) *preparedPage {
+	pp := &preparedPage{
+		doc:     doc,
+		lay:     layout(doc, w, h),
+		baseKey: site.Base.String(),
+	}
+
+	// Milestone schedule: resource references, inline scripts and inline
+	// styles in byte order.
+	for i := range doc.Resources {
+		r := &doc.Resources[i]
+		pp.milestones = append(pp.milestones, milestone{offset: r.Offset, res: r, idx: i})
+	}
+	for i := range doc.InlineScripts {
+		s := &doc.InlineScripts[i]
+		pp.milestones = append(pp.milestones, milestone{offset: s.Offset, script: s})
+	}
+	for i := range doc.InlineStyles {
+		st := &doc.InlineStyles[i]
+		pp.milestones = append(pp.milestones, milestone{offset: st.Offset, style: st})
+	}
+	sort.SliceStable(pp.milestones, func(i, j int) bool {
+		return pp.milestones[i].offset < pp.milestones[j].offset
+	})
+
+	// Resolve every document reference once.
+	n := len(doc.Resources)
+	pp.refURL = make([]page.URL, n)
+	pp.refKey = make([]string, n)
+	pp.refOK = make([]bool, n)
+	pp.refKind = make([]page.Kind, n)
+	for i := range doc.Resources {
+		r := &doc.Resources[i]
+		u, err := page.ParseURL(r.URL, site.Base)
+		if err != nil {
+			continue
+		}
+		pp.refOK[i] = true
+		pp.refURL[i] = u
+		pp.refKey[i] = u.String()
+		kind := page.KindFromPath(u.Path)
+		switch r.Tag {
+		case "link":
+			kind = page.KindCSS
+		case "script":
+			kind = page.KindJS
+		case "img":
+			kind = page.KindImage
+		}
+		pp.refKind[i] = kind
+		if r.Tag == "link" && r.Media != "print" {
+			pp.cssRefs = append(pp.cssRefs, preparedCSSRef{offset: r.Offset, idx: i})
+		}
+	}
+
+	// Resolve the layout units' image URLs once.
+	pp.unitImgKey = make([]string, len(pp.lay.units))
+	for i, u := range pp.lay.units {
+		if u.isImage && u.imgURL != "" {
+			if iu, err := page.ParseURL(u.imgURL, site.Base); err == nil {
+				pp.unitImgKey[i] = iu.String()
+			}
+		}
+	}
+
+	// Pre-resolve the outgoing references of every recorded stylesheet.
+	if prep != nil {
+		pp.sheets = make(map[*replay.Entry]*sheetInfo)
+		for _, e := range site.DB.Entries() {
+			if sheet := prep.Sheet(e); sheet != nil {
+				pp.sheets[e] = buildSheetInfo(sheet, e.URL)
+			}
+		}
+	}
+	return pp
+}
+
+// SiteATFSignatures returns the above-the-fold element signatures of
+// site's base document through the shared prepared page, so strategy
+// analysis reuses (and warms) the same parse and layout the page loads
+// run on. Returns nil when the site has no recorded base document.
+func SiteATFSignatures(site *replay.Site, w, h int) []cssx.ElementSig {
+	entry := site.DB.Lookup(site.Base.Authority, site.Base.Path)
+	if entry == nil {
+		return nil
+	}
+	return preparedPageFor(site, entry, w, h).lay.atfSigs
+}
+
+// buildSheetInfo resolves a parsed stylesheet's references against the
+// URL the sheet is served from.
+func buildSheetInfo(sheet *cssx.Stylesheet, base page.URL) *sheetInfo {
+	si := &sheetInfo{}
+	for _, ff := range sheet.FontFaces {
+		if ff.URL == "" || ff.Family == "" {
+			continue
+		}
+		u, err := page.ParseURL(ff.URL, base)
+		if err != nil {
+			continue
+		}
+		si.fonts = append(si.fonts, fontRef{family: ff.Family, u: u, key: u.String()})
+	}
+	for _, asset := range sheet.AssetURLs {
+		u, err := page.ParseURL(asset, base)
+		if err != nil {
+			continue
+		}
+		si.assets = append(si.assets, urlRef{u: u, key: u.String()})
+	}
+	for _, imp := range sheet.Imports {
+		u, err := page.ParseURL(imp, base)
+		if err != nil {
+			continue
+		}
+		si.imports = append(si.imports, urlRef{u: u, key: u.String()})
+	}
+	return si
+}

@@ -28,3 +28,30 @@ func TestPageLoadAllocBudget(t *testing.T) {
 		t.Errorf("page load allocates %.0f, budget %d", avg, budget)
 	}
 }
+
+// TestRunContextReuseAllocBudget is the regression guard for the PR 4
+// prepare-once/replay-many split: a run on a *warm* RunContext — site
+// prepared, simulator/network/loader state and pools grown — must stay
+// under a budget far below even the prepared-site cold path (~3.2k at
+// the time of writing, itself down from 5.7k). What remains is the
+// genuinely per-run state: fresh h2 endpoints and connections per dial
+// plus the loader's per-run callbacks. (Not meaningful under -race; CI
+// runs it in the plain test pass.)
+func TestRunContextReuseAllocBudget(t *testing.T) {
+	site := corpus.Generate(corpus.RandomProfile(), 0, 1)
+	tb := NewTestbed()
+	plan := replay.NoPush()
+	rc := NewRunContext()
+	if r := tb.RunOnceWith(rc, site, plan, 0); !r.Completed {
+		t.Fatal("incomplete warm-up load")
+	}
+	avg := testing.AllocsPerRun(5, func() {
+		if r := tb.RunOnceWith(rc, site, plan, 1); !r.Completed {
+			t.Fatal("incomplete load")
+		}
+	})
+	const budget = 2600
+	if avg > budget {
+		t.Errorf("warm-context page load allocates %.0f, budget %d", avg, budget)
+	}
+}

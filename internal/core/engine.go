@@ -12,6 +12,12 @@ import (
 // its input index, and aggregation always walks slots in index order, so
 // the output is byte-identical no matter how many workers ran or how
 // their completions interleaved.
+//
+// Each worker additionally owns a context created once per worker (see
+// forEachWith): the run contexts that amortize simulator, network and
+// browser state across the runs a worker executes. Contexts never cross
+// workers, so they need no locking, and because they only cache
+// reusable scratch — never results — they cannot affect output.
 
 // jobCount resolves a Jobs knob: <=0 means one worker per available CPU
 // (GOMAXPROCS), 1 means strictly sequential, n means n workers.
@@ -22,19 +28,21 @@ func jobCount(jobs int) int {
 	return jobs
 }
 
-// forEach runs fn(i) for every i in [0,n) using up to jobs workers
-// (jobCount semantics). Each index is executed exactly once. With one
-// worker the indices run in order on the calling goroutine — the
-// sequential reference path. fn must not depend on execution order and
-// must publish its result into an index-addressed slot.
-func forEach(n, jobs int, fn func(i int)) {
+// forEachWith runs fn(ctx, i) for every i in [0,n) using up to jobs
+// workers (jobCount semantics). Each worker calls newC exactly once with
+// its worker index and threads the returned context through every unit
+// it executes; with one worker the indices run in order on the calling
+// goroutine. fn must not depend on execution order and must publish its
+// result into an index-addressed slot.
+func forEachWith[C any](n, jobs int, newC func(worker int) C, fn func(c C, i int)) {
 	workers := jobCount(jobs)
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
+		c := newC(0)
 		for i := 0; i < n; i++ {
-			fn(i)
+			fn(c, i)
 		}
 		return
 	}
@@ -42,18 +50,24 @@ func forEach(n, jobs int, fn func(i int)) {
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
+			c := newC(worker)
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				fn(i)
+				fn(c, i)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
+}
+
+// forEach is forEachWith without a worker context.
+func forEach(n, jobs int, fn func(i int)) {
+	forEachWith(n, jobs, func(int) struct{} { return struct{}{} }, func(_ struct{}, i int) { fn(i) })
 }
 
 // collect runs fn over [0,n) in parallel and returns the results in
@@ -61,5 +75,12 @@ func forEach(n, jobs int, fn func(i int)) {
 func collect[T any](n, jobs int, fn func(i int) T) []T {
 	out := make([]T, n)
 	forEach(n, jobs, func(i int) { out[i] = fn(i) })
+	return out
+}
+
+// collectWith is collect with per-worker contexts (forEachWith).
+func collectWith[C, T any](n, jobs int, newC func(worker int) C, fn func(c C, i int) T) []T {
+	out := make([]T, n)
+	forEachWith(n, jobs, newC, func(c C, i int) { out[i] = fn(c, i) })
 	return out
 }

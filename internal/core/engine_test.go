@@ -2,6 +2,7 @@ package core
 
 import (
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/corpus"
@@ -125,5 +126,80 @@ func TestEvaluateStrategyConcurrentSafe(t *testing.T) {
 	}
 	if !tb.Browser.EnablePush {
 		t.Fatal("shared testbed config was mutated")
+	}
+}
+
+// TestCollectWithWorkerContextsParallel pins the engine's context contract:
+// every worker receives exactly one context (created with its worker
+// index) and no context is ever touched by two goroutines at once.
+func TestCollectWithWorkerContextsParallel(t *testing.T) {
+	type ctx struct {
+		worker int
+		inUse  atomic.Bool
+		units  int
+	}
+	for _, jobs := range []int{1, 3, 8} {
+		var mu sync.Mutex
+		var made []*ctx
+		out := collectWith(40, jobs, func(worker int) *ctx {
+			c := &ctx{worker: worker}
+			mu.Lock()
+			made = append(made, c)
+			mu.Unlock()
+			return c
+		}, func(c *ctx, i int) int {
+			if !c.inUse.CompareAndSwap(false, true) {
+				t.Error("context used concurrently by two workers")
+			}
+			c.units++
+			c.inUse.Store(false)
+			return i * i
+		})
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("jobs=%d: slot %d = %d", jobs, i, v)
+			}
+		}
+		workers := jobCount(jobs)
+		if workers > 40 {
+			workers = 40
+		}
+		if len(made) > workers {
+			t.Fatalf("jobs=%d: %d contexts created for %d workers", jobs, len(made), workers)
+		}
+		total := 0
+		seen := map[int]bool{}
+		for _, c := range made {
+			if seen[c.worker] {
+				t.Fatalf("jobs=%d: worker index %d used twice", jobs, c.worker)
+			}
+			seen[c.worker] = true
+			total += c.units
+		}
+		if total != 40 {
+			t.Fatalf("jobs=%d: contexts executed %d units, want 40", jobs, total)
+		}
+	}
+}
+
+// TestRunOnceWithMatchesRunOnce pins context reuse at the testbed
+// level: repeated runs on one warm RunContext yield the same scalar
+// results as throwaway-context runs, for a scenario with third-party
+// overlay scaling (the internet scenario) and for the plain testbed.
+func TestRunOnceWithMatchesRunOnce(t *testing.T) {
+	site := corpus.Generate(corpus.RandomProfile(), 3, 4)
+	for _, mode := range []Mode{ModeTestbed, ModeInternet} {
+		tb := NewTestbed()
+		tb.SetMode(mode)
+		rc := NewRunContext()
+		for run := 0; run < 4; run++ {
+			fresh := tb.RunOnce(site, replay.NoPush(), run)
+			warm := tb.RunOnceWith(rc, site, replay.NoPush(), run)
+			if warm.PLT != fresh.PLT || warm.SpeedIndex != fresh.SpeedIndex ||
+				warm.Completed != fresh.Completed || warm.Requests != fresh.Requests ||
+				warm.WireBytesPushed != fresh.WireBytesPushed {
+				t.Fatalf("mode %v run %d: warm context diverged: %+v vs %+v", mode, run, warm.Result, fresh.Result)
+			}
+		}
 	}
 }

@@ -86,6 +86,13 @@ func (sc ExperimentScale) newTestbedFor(scn scenario.Scenario, outerN int) *Test
 	return tb
 }
 
+// newWorkerContext is the per-worker factory the site-level fan-outs
+// pass to collectWith: each site-level worker owns one RunContext and
+// lends it (via Testbed.UseContext) to every testbed it builds, so the
+// warmed simulator/network/loader state survives across the traces and
+// evaluations of all sites that worker handles.
+func newWorkerContext(int) *RunContext { return NewRunContext() }
+
 // innerJobs divides a pool of jobs workers (jobCount semantics) among
 // outerN concurrent outer tasks, granting each at least one worker.
 func innerJobs(jobs, outerN int) int {
@@ -130,8 +137,9 @@ func Fig2aVariability(scale ExperimentScale) *Table {
 	sites := corpus.GenerateSet(corpus.RandomProfile(), scale.Sites, scale.Seed)
 	type cell struct{ plt, si []float64 }
 	run := func(scn scenario.Scenario, push bool) cell {
-		evs := collect(len(sites), scale.Jobs, func(i int) *Evaluation {
+		evs := collectWith(len(sites), scale.Jobs, newWorkerContext, func(rc *RunContext, i int) *Evaluation {
 			tb := scale.newTestbedFor(scn, len(sites))
+			tb.UseContext(rc)
 			var st strategy.Strategy = strategy.NoPush{}
 			if push {
 				st = strategy.PushAll{}
@@ -180,9 +188,10 @@ func Fig2aVariability(scale ExperimentScale) *Table {
 // better).
 func deltaVsNoPush(sites []*replay.Site, st strategy.Strategy, scale ExperimentScale, trace bool) (dPLT, dSI []float64) {
 	type delta struct{ plt, si float64 }
-	deltas := collect(len(sites), scale.Jobs, func(i int) delta {
+	deltas := collectWith(len(sites), scale.Jobs, newWorkerContext, func(rc *RunContext, i int) delta {
 		site := sites[i]
 		tb := scale.newTestbed(len(sites))
+		tb.UseContext(rc)
 		var tr *strategy.Trace
 		if trace {
 			tr = tb.Trace(site, min(5, scale.Runs))
@@ -352,9 +361,10 @@ func Fig4Synthetic(scale ExperimentScale) *Table {
 		Notes:  []string{"paper: custom pushes far fewer bytes for comparable gains (s1: 309KB vs 1057KB)"},
 	}
 	sites := corpus.SyntheticSites()
-	rowsBySite := collect(len(sites), scale.Jobs, func(i int) [][]string {
+	rowsBySite := collectWith(len(sites), scale.Jobs, newWorkerContext, func(rc *RunContext, i int) [][]string {
 		site := sites[i]
 		tb := scale.newTestbed(len(sites))
+		tb.UseContext(rc)
 		baseEv := tb.EvaluateStrategy(site, strategy.NoPush{}, nil)
 		var rows [][]string
 		for _, st := range []strategy.Strategy{strategy.PushAll{}, strategy.PushCritical{}} {
@@ -387,7 +397,7 @@ func Fig5Interleaving(runs int, seed int64, jobs int) *Table {
 		Notes:  []string{"paper: no push and push grow with HTML size; interleaving stays flat and fastest"},
 	}
 	sizes := []int{10, 20, 30, 40, 50, 60, 70, 80, 90}
-	t.Rows = collect(len(sizes), jobs, func(i int) []string {
+	t.Rows = collectWith(len(sizes), jobs, newWorkerContext, func(rc *RunContext, i int) []string {
 		kb := sizes[i]
 		b := corpus.NewPage("fig5.test")
 		b.CSS("/style.css", corpus.SimpleCSS([]string{"hero", "body-text"}, 120))
@@ -404,6 +414,7 @@ func Fig5Interleaving(runs int, seed int64, jobs int) *Table {
 		tb.Runs = runs
 		tb.Seed = seed
 		tb.Jobs = innerJobs(jobs, len(sizes))
+		tb.UseContext(rc)
 		noPushCfg := *tb
 		noPushCfg.Browser.EnablePush = false
 		evNo := noPushCfg.Evaluate(site, replay.NoPush(), "no push")
@@ -447,12 +458,13 @@ func Fig6Popular(ids []string, scale ExperimentScale) *Table {
 			"w7/w8 limited by blocking JS, w9 favours push all, w10 image contention, w17 dilution",
 		},
 	}
-	rowsBySite := collect(len(ids), scale.Jobs, func(i int) [][]string {
+	rowsBySite := collectWith(len(ids), scale.Jobs, newWorkerContext, func(rc *RunContext, i int) [][]string {
 		site := corpus.PopularSite(ids[i])
 		if site == nil {
 			return nil
 		}
 		tb := scale.newTestbed(len(ids))
+		tb.UseContext(rc)
 		tr := tb.Trace(site, min(5, scale.Runs))
 		baseEv := tb.EvaluateStrategy(site, strategy.NoPush{}, nil)
 		var rows [][]string

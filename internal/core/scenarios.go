@@ -67,9 +67,10 @@ func scenarioTable(scn scenario.Scenario, sites []*replay.Site, scale Experiment
 		dPLT, dSI []float64 // per strategy, ms
 		pushedKB  []int64   // per strategy
 	}
-	results := collect(len(sites), scale.Jobs, func(i int) siteResult {
+	results := collectWith(len(sites), scale.Jobs, newWorkerContext, func(rc *RunContext, i int) siteResult {
 		site := sites[i]
 		tb := scale.newTestbedFor(scn, len(sites))
+		tb.UseContext(rc)
 		tr := tb.Trace(site, min(5, scale.Runs))
 		base := tb.EvaluateStrategy(site, strategy.NoPush{}, nil)
 		var res siteResult

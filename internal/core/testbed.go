@@ -57,9 +57,32 @@ type Testbed struct {
 	Seed     int64
 	// Jobs bounds the worker pool Evaluate and Trace fan their runs
 	// across: <=0 uses GOMAXPROCS, 1 is strictly sequential. Every run
-	// builds its own simulator from a per-run seed and results are
+	// re-seeds its simulator from the run index and results are
 	// collected in run order, so output is identical for any value.
 	Jobs int
+
+	// ctx, when set, seeds one run-level worker with a caller-owned
+	// RunContext so its warmed state is reused across Evaluate/Trace
+	// calls (the experiment drivers set it to the site-level worker's
+	// context). The context is lent to exactly one worker per pool while
+	// the call blocks, so a testbed carrying a ctx must only be used
+	// from a single goroutine at a time; testbeds shared across
+	// goroutines (see EvaluateStrategy) leave it nil.
+	ctx *RunContext
+}
+
+// UseContext attaches a caller-owned run context that Evaluate and
+// Trace reuse across calls (see the ctx field for the ownership rules).
+func (tb *Testbed) UseContext(rc *RunContext) { tb.ctx = rc }
+
+// workerContext is the per-worker context factory for run-level pools:
+// worker 0 borrows the testbed's attached context (if any), every other
+// worker gets a fresh one.
+func (tb *Testbed) workerContext(worker int) *RunContext {
+	if worker == 0 && tb.ctx != nil {
+		return tb.ctx
+	}
+	return NewRunContext()
 }
 
 // NewTestbed returns the paper's configuration: DSL link, 31 runs.
@@ -97,14 +120,43 @@ type RunResult struct {
 	WirePushCount   int
 }
 
+// RunContext owns the per-worker simulation state one run needs — the
+// simulator, the emulated network, the server farm, the browser loader
+// and the third-party overlay scratch — and is reused across the runs a
+// worker executes: a warm context resets this state instead of
+// reallocating it, so steady-state runs spend their allocations only on
+// genuinely per-run objects. A RunContext must be owned by exactly one
+// goroutine at a time; the engine's worker pools guarantee that by
+// construction. It caches scratch, never results, so reuse cannot
+// change any output.
+type RunContext struct {
+	sim     *sim.Sim
+	net     *netem.Network
+	farm    *replay.Farm
+	ld      *browser.Loader
+	overlay scenario.SiteScratch
+}
+
+// NewRunContext returns an empty context; the first run populates it.
+func NewRunContext() *RunContext { return &RunContext{} }
+
 // RunOnce performs a single page load of site under plan. All
 // perturbation — link jitter, loss, server think time, third-party
 // content scaling, client compute jitter — comes from the scenario's
-// deterministic per-run derivation.
+// deterministic per-run derivation. It runs on a throwaway context;
+// callers executing many runs should hold a RunContext and use
+// RunOnceWith.
 func (tb *Testbed) RunOnce(site *replay.Site, plan replay.Plan, run int) *RunResult {
+	return tb.RunOnceWith(NewRunContext(), site, plan, run)
+}
+
+// RunOnceWith is RunOnce on a reusable context. The returned result
+// (including the embedded browser.Result and its slices) is owned by
+// the context and valid only until the next run on rc; callers keeping
+// more than scalars must copy them out before reusing the context.
+func (tb *Testbed) RunOnceWith(rc *RunContext, site *replay.Site, plan replay.Plan, run int) *RunResult {
 	seed := tb.Seed*1_000_003 + int64(run)*7919
 	cond := tb.Scenario.Derive(seed)
-	s := sim.New(seed)
 	cfg := tb.Browser
 	switch {
 	case cond.ClientJitterFrac > 0:
@@ -112,16 +164,31 @@ func (tb *Testbed) RunOnce(site *replay.Site, plan replay.Plan, run int) *RunRes
 	case cond.ClientJitterFrac < 0: // scenario forces a deterministic client
 		cfg.JitterFrac = 0
 	}
-	n := netem.New(s, cond.Profile)
-	farm := replay.NewFarm(s, n, cond.ApplySite(site), plan)
-	farm.ThinkTime = cond.ThinkTime
-	ld := browser.New(s, farm, cfg)
-	ld.Start()
-	s.Run()
+	if rc.sim == nil {
+		rc.sim = sim.New(seed)
+		rc.net = netem.New(rc.sim, cond.Profile)
+	} else {
+		rc.sim.Reset(seed)
+		rc.net.Reset(cond.Profile)
+	}
+	runSite := cond.ApplySiteInto(site, &rc.overlay)
+	if rc.farm == nil {
+		rc.farm = replay.NewFarm(rc.sim, rc.net, runSite, plan)
+	} else {
+		rc.farm.Reset(rc.sim, rc.net, runSite, plan)
+	}
+	rc.farm.ThinkTime = cond.ThinkTime
+	if rc.ld == nil {
+		rc.ld = browser.New(rc.sim, rc.farm, cfg)
+	} else {
+		rc.ld.Reset(rc.sim, rc.farm, cfg)
+	}
+	rc.ld.Start()
+	rc.sim.Run()
 	return &RunResult{
-		Result:          ld.Result(),
-		WireBytesPushed: farm.BytesPushed,
-		WirePushCount:   farm.PushCount,
+		Result:          rc.ld.Result(),
+		WireBytesPushed: rc.farm.BytesPushed,
+		WirePushCount:   rc.farm.PushCount,
 	}
 }
 
@@ -141,20 +208,28 @@ type Evaluation struct {
 }
 
 // Evaluate runs site under plan tb.Runs times, fanning the runs across
-// tb.Jobs workers. Each run is self-contained (own simulator, network
-// and farm, seeded from the run index) and results are aggregated in
-// run order, so the output matches the sequential path exactly.
+// tb.Jobs workers. Each run is deterministically seeded from its run
+// index and executes on its worker's reusable RunContext; the scalar
+// outcomes are extracted inside the worker (the context recycles the
+// full Result on its next run) and aggregated in run order, so the
+// output matches the sequential path exactly.
 func (tb *Testbed) Evaluate(site *replay.Site, plan replay.Plan, name string) *Evaluation {
 	ev := &Evaluation{Site: site.Name, Strategy: name}
-	results := collect(tb.Runs, tb.Jobs, func(i int) *RunResult {
-		return tb.RunOnce(site, plan, i)
+	type runStat struct {
+		plt, si   time.Duration
+		pushed    int64
+		completed bool
+	}
+	stats := collectWith(tb.Runs, tb.Jobs, tb.workerContext, func(rc *RunContext, i int) runStat {
+		r := tb.RunOnceWith(rc, site, plan, i)
+		return runStat{plt: r.PLT, si: r.SpeedIndex, pushed: r.WireBytesPushed, completed: r.Completed}
 	})
-	pushed := make([]int64, 0, len(results))
-	for _, r := range results {
-		ev.PLT.Add(r.PLT)
-		ev.SI.Add(r.SpeedIndex)
-		pushed = append(pushed, r.WireBytesPushed)
-		if r.Completed {
+	pushed := make([]int64, 0, len(stats))
+	for _, r := range stats {
+		ev.PLT.Add(r.plt)
+		ev.SI.Add(r.si)
+		pushed = append(pushed, r.pushed)
+		if r.completed {
 			ev.Completed++
 		}
 	}
@@ -167,7 +242,11 @@ func (tb *Testbed) Evaluate(site *replay.Site, plan replay.Plan, name string) *E
 // EvaluateStrategy applies a strategy (site rewrite + plan) and runs it.
 // The receiver is never mutated: baseline strategies that disable push
 // act on a per-call copy of the testbed, so concurrent evaluations on a
-// shared Testbed are safe.
+// shared Testbed are safe — provided no run context is attached. The
+// per-call copy shares the receiver's UseContext context (that reuse is
+// the point of attaching one), so a testbed carrying a context must
+// only be evaluated from one goroutine at a time; testbeds shared
+// across goroutines must leave the context unset.
 func (tb *Testbed) EvaluateStrategy(site *replay.Site, st strategy.Strategy, tr *strategy.Trace) *Evaluation {
 	runSite, plan := st.Apply(site, tr)
 	run := *tb
@@ -181,13 +260,15 @@ func (tb *Testbed) EvaluateStrategy(site *replay.Site, st strategy.Strategy, tr 
 // Trace performs the paper's dependency-tracing step (Sec. 4.2): load
 // the site without push `runs` times and record the subresource request
 // orders for the majority vote. Like EvaluateStrategy it works on a
-// per-call copy of the testbed and fans the trace loads across workers.
+// per-call copy of the testbed and fans the trace loads across workers
+// on reusable run contexts (the order lists are copied out before a
+// context recycles its Result).
 func (tb *Testbed) Trace(site *replay.Site, runs int) *strategy.Trace {
 	probe := *tb
 	probe.Browser.EnablePush = false
 	base := site.Base.String()
-	orders := collect(runs, tb.Jobs, func(i int) []string {
-		r := probe.RunOnce(site, replay.NoPush(), 1000+i)
+	orders := collectWith(runs, tb.Jobs, probe.workerContext, func(rc *RunContext, i int) []string {
+		r := probe.RunOnceWith(rc, site, replay.NoPush(), 1000+i)
 		var order []string
 		for _, t := range r.Timings {
 			if t.URL == base || t.Pushed {

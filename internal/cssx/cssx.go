@@ -6,6 +6,7 @@
 package cssx
 
 import (
+	"bytes"
 	"strings"
 )
 
@@ -34,31 +35,47 @@ type Stylesheet struct {
 
 // Parse tokenizes CSS source. It tolerates the usual real-world noise
 // (comments, stray semicolons) and recurses one level into @media blocks.
-func Parse(src string) *Stylesheet {
+//
+// The source is taken as a byte slice and is only read, never retained
+// or mutated: every string the Stylesheet carries is a fresh copy of the
+// retained fragment, so callers may pass transport buffers (or recorded
+// response bodies) directly without an up-front []byte -> string copy of
+// the whole sheet.
+func Parse(src []byte) *Stylesheet {
 	s := &Stylesheet{}
 	parseBlock(stripComments(src), "", s)
 	return s
 }
 
-func stripComments(s string) string {
-	var b strings.Builder
+// ParseString is Parse for callers that hold the source as a string.
+func ParseString(src string) *Stylesheet { return Parse([]byte(src)) }
+
+// stripComments removes /* */ comments. Comment-free input (the common
+// case for generated and minified sheets) is returned as-is, without a
+// copy; otherwise a compacted copy is built.
+func stripComments(s []byte) []byte {
+	i := bytes.Index(s, []byte("/*"))
+	if i < 0 {
+		return s
+	}
+	var b bytes.Buffer
 	b.Grow(len(s))
 	for {
-		i := strings.Index(s, "/*")
-		if i < 0 {
-			b.WriteString(s)
-			return b.String()
-		}
-		b.WriteString(s[:i])
-		j := strings.Index(s[i+2:], "*/")
+		b.Write(s[:i])
+		j := bytes.Index(s[i+2:], []byte("*/"))
 		if j < 0 {
-			return b.String()
+			return b.Bytes()
 		}
 		s = s[i+2+j+2:]
+		i = bytes.Index(s, []byte("/*"))
+		if i < 0 {
+			b.Write(s)
+			return b.Bytes()
+		}
 	}
 }
 
-func parseBlock(src, media string, out *Stylesheet) {
+func parseBlock(src []byte, media string, out *Stylesheet) {
 	pos := 0
 	for pos < len(src) {
 		// Skip whitespace and stray semicolons.
@@ -73,17 +90,17 @@ func parseBlock(src, media string, out *Stylesheet) {
 			continue
 		}
 		// Ordinary rule: selector { body }
-		open := strings.IndexByte(src[pos:], '{')
+		open := bytes.IndexByte(src[pos:], '{')
 		if open < 0 {
 			return
 		}
-		selText := strings.TrimSpace(src[pos : pos+open])
+		selText := strings.TrimSpace(string(src[pos : pos+open]))
 		bodyStart := pos + open + 1
 		bodyEnd := matchBrace(src, pos+open)
 		if bodyEnd < 0 {
 			return
 		}
-		body := strings.TrimSpace(src[bodyStart:bodyEnd])
+		body := strings.TrimSpace(string(src[bodyStart:bodyEnd]))
 		var sels []string
 		for _, s := range strings.Split(selText, ",") {
 			if s = strings.TrimSpace(s); s != "" {
@@ -99,25 +116,25 @@ func parseBlock(src, media string, out *Stylesheet) {
 }
 
 // parseAtRule handles @media, @font-face, @import and skips the rest.
-func parseAtRule(src string, pos int, media string, out *Stylesheet) int {
+func parseAtRule(src []byte, pos int, media string, out *Stylesheet) int {
 	nameEnd := pos + 1
 	for nameEnd < len(src) && isIdent(src[nameEnd]) {
 		nameEnd++
 	}
-	name := strings.ToLower(src[pos+1 : nameEnd])
+	name := strings.ToLower(string(src[pos+1 : nameEnd]))
 	switch name {
 	case "import":
-		semi := strings.IndexByte(src[nameEnd:], ';')
+		semi := bytes.IndexByte(src[nameEnd:], ';')
 		if semi < 0 {
 			return len(src)
 		}
-		arg := strings.TrimSpace(src[nameEnd : nameEnd+semi])
+		arg := strings.TrimSpace(string(src[nameEnd : nameEnd+semi]))
 		if u := parseImportURL(arg); u != "" {
 			out.Imports = append(out.Imports, u)
 		}
 		return nameEnd + semi + 1
 	case "font-face":
-		open := strings.IndexByte(src[nameEnd:], '{')
+		open := bytes.IndexByte(src[nameEnd:], '{')
 		if open < 0 {
 			return len(src)
 		}
@@ -125,7 +142,7 @@ func parseAtRule(src string, pos int, media string, out *Stylesheet) int {
 		if end < 0 {
 			return len(src)
 		}
-		body := src[nameEnd+open+1 : end]
+		body := string(src[nameEnd+open+1 : end])
 		ff := FontFace{Body: strings.TrimSpace(body)}
 		for _, decl := range strings.Split(body, ";") {
 			k, v, ok := strings.Cut(decl, ":")
@@ -144,11 +161,11 @@ func parseAtRule(src string, pos int, media string, out *Stylesheet) int {
 		out.FontFaces = append(out.FontFaces, ff)
 		return end + 1
 	case "media":
-		open := strings.IndexByte(src[nameEnd:], '{')
+		open := bytes.IndexByte(src[nameEnd:], '{')
 		if open < 0 {
 			return len(src)
 		}
-		cond := strings.TrimSpace(src[nameEnd : nameEnd+open])
+		cond := strings.TrimSpace(string(src[nameEnd : nameEnd+open]))
 		end := matchBrace(src, nameEnd+open)
 		if end < 0 {
 			return len(src)
@@ -158,8 +175,8 @@ func parseAtRule(src string, pos int, media string, out *Stylesheet) int {
 		return end + 1
 	default:
 		// @keyframes, @supports, ... : skip the block or statement.
-		open := strings.IndexByte(src[nameEnd:], '{')
-		semi := strings.IndexByte(src[nameEnd:], ';')
+		open := bytes.IndexByte(src[nameEnd:], '{')
+		semi := bytes.IndexByte(src[nameEnd:], ';')
 		if semi >= 0 && (open < 0 || semi < open) {
 			return nameEnd + semi + 1
 		}
@@ -179,7 +196,7 @@ func isIdent(b byte) bool {
 }
 
 // matchBrace returns the index of the '}' matching the '{' at src[open].
-func matchBrace(src string, open int) int {
+func matchBrace(src []byte, open int) int {
 	depth := 0
 	for i := open; i < len(src); i++ {
 		switch src[i] {

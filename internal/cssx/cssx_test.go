@@ -28,7 +28,7 @@ p.intro { font-family: "BrandFont", sans-serif; font-size: 16px; }
 `
 
 func TestParseRules(t *testing.T) {
-	s := Parse(sampleCSS)
+	s := Parse([]byte(sampleCSS))
 	if len(s.Rules) < 7 {
 		t.Fatalf("parsed %d rules, want >= 7", len(s.Rules))
 	}
@@ -49,7 +49,7 @@ func TestParseRules(t *testing.T) {
 }
 
 func TestParseMediaBlocks(t *testing.T) {
-	s := Parse(sampleCSS)
+	s := Parse([]byte(sampleCSS))
 	var mobile, print int
 	for _, r := range s.Rules {
 		if strings.Contains(r.Media, "max-width") {
@@ -68,7 +68,7 @@ func TestParseMediaBlocks(t *testing.T) {
 }
 
 func TestParseFontFace(t *testing.T) {
-	s := Parse(sampleCSS)
+	s := Parse([]byte(sampleCSS))
 	if len(s.FontFaces) != 1 {
 		t.Fatalf("font faces = %d", len(s.FontFaces))
 	}
@@ -79,7 +79,7 @@ func TestParseFontFace(t *testing.T) {
 }
 
 func TestParseImportsAndAssets(t *testing.T) {
-	s := Parse(sampleCSS)
+	s := Parse([]byte(sampleCSS))
 	if len(s.Imports) != 1 || s.Imports[0] != "/css/extra.css" {
 		t.Fatalf("imports = %v", s.Imports)
 	}
@@ -97,7 +97,7 @@ func TestParseMalformedNoPanic(t *testing.T) {
 		"", "{", "}", "a{", "a{b", "@media{", "@import", "@font-face{src:url(",
 		"/* unterminated", "a{b:c;;;}d{}", "@unknown stuff;",
 	} {
-		if s := Parse(in); s == nil {
+		if s := ParseString(in); s == nil {
 			t.Fatalf("Parse(%q) = nil", in)
 		}
 	}
@@ -113,7 +113,7 @@ func atfSample() []ElementSig {
 }
 
 func TestExtractCriticalKeepsMatchingRules(t *testing.T) {
-	s := Parse(sampleCSS)
+	s := Parse([]byte(sampleCSS))
 	res := ExtractCritical(s, atfSample())
 	css := res.CSS
 	if !strings.Contains(css, ".hero") {
@@ -134,7 +134,7 @@ func TestExtractCriticalKeepsMatchingRules(t *testing.T) {
 }
 
 func TestExtractCriticalKeepsUsedFontFaces(t *testing.T) {
-	s := Parse(sampleCSS)
+	s := Parse([]byte(sampleCSS))
 	res := ExtractCritical(s, atfSample())
 	if len(res.FontFaces) != 1 {
 		t.Fatalf("font faces kept = %d, want 1 (p.intro uses BrandFont)", len(res.FontFaces))
@@ -147,7 +147,7 @@ func TestExtractCriticalKeepsUsedFontFaces(t *testing.T) {
 }
 
 func TestExtractCriticalReducesSize(t *testing.T) {
-	s := Parse(sampleCSS)
+	s := Parse([]byte(sampleCSS))
 	res := ExtractCritical(s, []ElementSig{{Tag: "div", Classes: []string{"hero"}}})
 	if res.KeptBytes >= res.TotalBytes {
 		t.Fatalf("no reduction: kept %d of %d", res.KeptBytes, res.TotalBytes)
@@ -199,9 +199,9 @@ func TestCompoundMatching(t *testing.T) {
 }
 
 func TestSerializeRoundTrip(t *testing.T) {
-	s := Parse(sampleCSS)
+	s := Parse([]byte(sampleCSS))
 	out := Serialize(s.Rules, s.FontFaces)
-	s2 := Parse(out)
+	s2 := Parse([]byte(out))
 	if len(s2.Rules) != len(s.Rules) {
 		t.Fatalf("reparse: %d rules, want %d", len(s2.Rules), len(s.Rules))
 	}

@@ -12,6 +12,7 @@
 package htmlx
 
 import (
+	"bytes"
 	"strconv"
 	"strings"
 )
@@ -61,6 +62,13 @@ type Element struct {
 }
 
 // Document is the parsed view of an HTML page.
+//
+// A Document is immutable after Parse returns: nothing in this package
+// or its consumers writes to it, which is what lets a prepared site
+// share one parsed document (and the slices inside it) read-only across
+// concurrent simulation workers. Per-run mutable state (what has been
+// fetched, painted or parsed so far) lives in the browser model, never
+// here.
 type Document struct {
 	Raw           []byte
 	Resources     []Resource
@@ -137,7 +145,7 @@ func nextTag(raw []byte, pos int) (*tag, int) {
 		textChars += countText(raw[pos:i])
 		// Comment?
 		if hasPrefixAt(raw, i, "<!--") {
-			end := indexFrom(raw, "-->", i+4)
+			end := indexFrom(raw, needCommentEnd, i+4)
 			if end < 0 {
 				return nil, textChars
 			}
@@ -182,11 +190,21 @@ func indexByteFrom(b []byte, c byte, from int) int {
 	return -1
 }
 
-func indexFrom(b []byte, sub string, from int) int {
+// Closing-tag needles for indexFrom: searching with bytes.Index avoids
+// the per-call []byte -> string copy of the document tail that a
+// strings.Index search would cost.
+var (
+	needCommentEnd = []byte("-->")
+	needTitleEnd   = []byte("</title>")
+	needScriptEnd  = []byte("</script>")
+	needStyleEnd   = []byte("</style>")
+)
+
+func indexFrom(b []byte, sub []byte, from int) int {
 	if from > len(b) {
 		return -1
 	}
-	idx := strings.Index(string(b[from:]), sub)
+	idx := bytes.Index(b[from:], sub)
 	if idx < 0 {
 		return -1
 	}
@@ -308,7 +326,7 @@ func Parse(raw []byte) *Document {
 		case "body":
 			inHead = false
 		case "title":
-			end := indexFrom(raw, "</title>", t.end)
+			end := indexFrom(raw, needTitleEnd, t.end)
 			if end >= 0 {
 				d.Title = strings.TrimSpace(string(raw[t.end:end]))
 				pos = end + len("</title>")
@@ -339,11 +357,11 @@ func Parse(raw []byte) *Document {
 					Async: async, Defer: deferA,
 				})
 				// Skip optional closing tag.
-				if end := indexFrom(raw, "</script>", t.end); end >= 0 && end-t.end < 16 {
+				if end := indexFrom(raw, needScriptEnd, t.end); end >= 0 && end-t.end < 16 {
 					pos = end + len("</script>")
 				}
 			} else {
-				end := indexFrom(raw, "</script>", t.end)
+				end := indexFrom(raw, needScriptEnd, t.end)
 				if end < 0 {
 					end = len(raw)
 				}
@@ -358,7 +376,7 @@ func Parse(raw []byte) *Document {
 				pos = off
 			}
 		case "style":
-			end := indexFrom(raw, "</style>", t.end)
+			end := indexFrom(raw, needStyleEnd, t.end)
 			if end < 0 {
 				end = len(raw)
 			}

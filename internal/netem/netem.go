@@ -214,6 +214,30 @@ func New(s *sim.Sim, prof Profile) *Network {
 	}
 }
 
+// Reset re-arms the network for a new run under prof, reusing the pipe
+// release queues and the segment free list so a warmed Network starts a
+// run without reallocating its data-plane state. The owning simulator
+// must have been Reset (or be fresh) — pipe bookkeeping is relative to
+// its clock. Panics on an invalid profile, like New.
+func (n *Network) Reset(prof Profile) {
+	if err := prof.Validate(); err != nil {
+		panic(err)
+	}
+	half := prof.RTT / 2
+	n.Prof = prof
+	n.nextConnID = 0
+	n.down.reset(prof.DownRate, half, prof.QueueBytes)
+	n.up.reset(prof.UpRate, half, prof.QueueBytes)
+}
+
+// reset clears one direction's queue/stat state for a new run.
+func (p *pipe) reset(rate Rate, prop time.Duration, limit int) {
+	p.rate, p.prop, p.limit = rate, prop, limit
+	p.busyUntil, p.queued = 0, 0
+	p.pending, p.phead = p.pending[:0], 0
+	p.delivered, p.dropped = 0, 0
+}
+
 // DownlinkDelivered returns total bytes delivered client-ward, for tests.
 func (n *Network) DownlinkDelivered() int64 { return n.down.delivered }
 

@@ -110,7 +110,9 @@ type URL struct {
 }
 
 func (u URL) String() string {
-	return fmt.Sprintf("%s://%s%s", u.Scheme, u.Authority, u.Path)
+	// Plain concatenation: one allocation, no fmt machinery — this runs
+	// for every resource key of every simulated request.
+	return u.Scheme + "://" + u.Authority + u.Path
 }
 
 // ParseURL splits an absolute or host-relative URL. Relative references

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/page"
 )
@@ -35,46 +36,53 @@ func (e *Entry) Kind() page.Kind {
 	return page.KindFromPath(e.URL.Path)
 }
 
-// DB is a recorded-site database: the Mahimahi record directory.
+// DB is a recorded-site database: the Mahimahi record directory. The
+// index is two-level (authority, then path) so the hot Lookup path
+// never has to build a combined key string.
 type DB struct {
-	entries map[string]*Entry
-	order   []string
+	entries map[string]map[string]*Entry
+	order   []dbKey
 }
+
+type dbKey struct{ authority, path string }
 
 // NewDB returns an empty database.
 func NewDB() *DB {
-	return &DB{entries: make(map[string]*Entry)}
+	return &DB{entries: make(map[string]map[string]*Entry)}
 }
-
-func dbKey(authority, path string) string { return authority + "\x00" + path }
 
 // Add stores an entry, replacing any previous one for the same URL.
 func (db *DB) Add(e *Entry) {
-	k := dbKey(e.URL.Authority, e.URL.Path)
-	if _, dup := db.entries[k]; !dup {
-		db.order = append(db.order, k)
+	m := db.entries[e.URL.Authority]
+	if m == nil {
+		m = make(map[string]*Entry)
+		db.entries[e.URL.Authority] = m
 	}
-	db.entries[k] = e
+	if _, dup := m[e.URL.Path]; !dup {
+		db.order = append(db.order, dbKey{e.URL.Authority, e.URL.Path})
+	}
+	m[e.URL.Path] = e
 }
 
 // Lookup matches a request to a recorded response. Like Mahimahi, an
 // exact match is preferred; otherwise the query string is ignored as a
 // fallback for dynamic parameters.
 func (db *DB) Lookup(authority, path string) *Entry {
-	if e, ok := db.entries[dbKey(authority, path)]; ok {
+	m := db.entries[authority]
+	if e, ok := m[path]; ok {
 		return e
 	}
 	stripped := path
 	if i := strings.IndexByte(stripped, '?'); i >= 0 {
 		stripped = stripped[:i]
-		if e, ok := db.entries[dbKey(authority, stripped)]; ok {
+		if e, ok := m[stripped]; ok {
 			return e
 		}
 	}
 	// Last resort: match a recorded URL whose path (sans query) equals
 	// the requested path (sans query).
 	for _, k := range db.order {
-		e := db.entries[k]
+		e := db.entries[k.authority][k.path]
 		p := e.URL.Path
 		if j := strings.IndexByte(p, '?'); j >= 0 {
 			p = p[:j]
@@ -96,26 +104,28 @@ func (db *DB) Get(url string) *Entry {
 }
 
 // Len returns the number of recorded objects.
-func (db *DB) Len() int { return len(db.entries) }
+func (db *DB) Len() int { return len(db.order) }
 
 // Entries returns all entries in insertion order.
 func (db *DB) Entries() []*Entry {
 	out := make([]*Entry, 0, len(db.order))
 	for _, k := range db.order {
-		out = append(out, db.entries[k])
+		out = append(out, db.entries[k.authority][k.path])
 	}
 	return out
 }
 
-// Clone deep-copies the database so strategies can rewrite documents
-// without mutating the recording.
+// Clone returns an independently mutable view of the database that
+// shares the underlying entries. Entries are immutable once recorded
+// (the zero-copy data plane already relies on that), so a rewrite
+// replaces an entry via Add with a fresh *Entry rather than mutating
+// one in place; the share-on-clone therefore costs no per-body copies
+// and keeps entry identity stable, which is what lets a rewritten
+// site's untouched stylesheets keep hitting the prepared-site caches.
 func (db *DB) Clone() *DB {
 	out := NewDB()
 	for _, k := range db.order {
-		e := db.entries[k]
-		ne := *e
-		ne.Body = append([]byte(nil), e.Body...)
-		out.Add(&ne)
+		out.Add(db.entries[k.authority][k.path])
 	}
 	return out
 }
@@ -134,6 +144,34 @@ type Site struct {
 	// browser may coalesce connections for two hostnames when they share
 	// an IP and the certificate covers both.
 	SANsByIP map[string][]string
+
+	// Parse-once state, computed lazily by Prepared. Variant sites (a
+	// per-run third-party overlay) carry a parent pointer instead and
+	// delegate, so they share the base site's preparation. Sites are
+	// always handled by pointer; the sync.Once makes value copies
+	// ill-formed (go vet copylocks), which is intentional.
+	prepOnce sync.Once
+	prep     *Prepared
+	parent   *Site
+}
+
+// NewVariant returns a site with s's name, base and topology but a
+// different database, sharing s's prepared state. It exists for per-run
+// overlays (scenario third-party scaling) whose databases replace a few
+// entries but keep the base document: entries shared by pointer with
+// the base site keep hitting the prepared caches, replaced entries miss
+// and are parsed per run. The variant must not outlive the base site's
+// immutability assumptions — its shared entries are read-only.
+func (s *Site) NewVariant(db *DB) *Site {
+	base := s
+	if s.parent != nil {
+		base = s.parent
+	}
+	return &Site{
+		Name: s.Name, Base: s.Base, DB: db,
+		IPByHost: s.IPByHost, SANsByIP: s.SANsByIP,
+		parent: base,
+	}
 }
 
 // NewSite builds a Site from a database, assigning each distinct

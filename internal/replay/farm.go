@@ -35,6 +35,17 @@ func NewFarm(s *sim.Sim, net *netem.Network, site *Site, plan Plan) *Farm {
 	}
 }
 
+// Reset re-arms the farm for a new run, exactly as NewFarm would
+// configure it: fresh stats, default settings, zero think time. The
+// per-connection servers it spawned last run are owned by the previous
+// simulator run and are simply dropped.
+func (f *Farm) Reset(s *sim.Sim, net *netem.Network, site *Site, plan Plan) {
+	f.S, f.Net, f.Site, f.Plan = s, net, site, plan
+	f.Settings = h2.DefaultSettings()
+	f.ThinkTime = 0
+	f.BytesPushed, f.PushCount, f.RequestCount = 0, 0, 0
+}
+
 // Dial opens a fresh connection to the origin server replaying host.
 // ready fires at connectEnd with the client-side transport end; the
 // caller attaches its h2 client there. Every server on the farm shares

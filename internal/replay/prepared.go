@@ -1,0 +1,108 @@
+package replay
+
+import (
+	"sync"
+
+	"repro/internal/cssx"
+	"repro/internal/htmlx"
+	"repro/internal/page"
+)
+
+// Prepared is the "parse once, replay many" view of a Site: everything
+// about the recording that is a pure function of its immutable entries
+// — the parsed base document and the parsed stylesheets — plus a memo
+// table higher layers (the browser model, the strategy compiler) use to
+// attach their own once-per-site derivations.
+//
+// Immutability rules: a Prepared and everything reachable from it is
+// read-only after construction and is shared, without locks, by every
+// simulation worker replaying the site. Per-run mutable state (fetch
+// progress, paint state, scaled third-party bodies) must live in the
+// run's own context, never here. Sheets and documents are keyed by
+// *Entry identity, so a variant site that replaces an entry (a strategy
+// rewrite, a per-run third-party overlay) naturally misses the cache
+// for exactly the entries it replaced and falls back to parsing them.
+type Prepared struct {
+	baseEntry *Entry
+	doc       *htmlx.Document // parsed base document, nil if the base entry is missing
+
+	sheets map[*Entry]*cssx.Stylesheet
+
+	mu   sync.Mutex
+	memo map[string]*memoEntry
+}
+
+type memoEntry struct {
+	once sync.Once
+	val  any
+}
+
+// prepare runs the once-per-site parse work. It is called lazily (and
+// exactly once) by Site.Prepared.
+func prepare(s *Site) *Prepared {
+	p := &Prepared{
+		sheets: make(map[*Entry]*cssx.Stylesheet),
+		memo:   make(map[string]*memoEntry),
+	}
+	p.baseEntry = s.DB.Lookup(s.Base.Authority, s.Base.Path)
+	if p.baseEntry != nil {
+		p.doc = htmlx.Parse(p.baseEntry.Body)
+	}
+	for _, e := range s.DB.Entries() {
+		if e.Kind() == page.KindCSS {
+			p.sheets[e] = cssx.Parse(e.Body)
+		}
+	}
+	return p
+}
+
+// Prepared returns the site's shared parse-once state, computing it on
+// first use. It is safe to call from concurrent workers. Variant sites
+// (see NewVariant) delegate to their base site's preparation.
+func (s *Site) Prepared() *Prepared {
+	if s.parent != nil {
+		return s.parent.Prepared()
+	}
+	s.prepOnce.Do(func() { s.prep = prepare(s) })
+	return s.prep
+}
+
+// BaseEntry returns the entry the prepared document was parsed from,
+// nil when the site has no recorded base document.
+func (p *Prepared) BaseEntry() *Entry { return p.baseEntry }
+
+// DocOf returns the parsed document for e, reusing the prepared parse
+// when e is the site's base entry and parsing fresh otherwise (e.g. a
+// rewritten or per-run-scaled base document).
+func (p *Prepared) DocOf(e *Entry) *htmlx.Document {
+	if e != nil && e == p.baseEntry && p.doc != nil {
+		return p.doc
+	}
+	if e == nil {
+		return nil
+	}
+	return htmlx.Parse(e.Body)
+}
+
+// Sheet returns the pre-parsed stylesheet for e, or nil when e was not
+// part of the prepared site (the caller parses it itself). The map is
+// built once and read-only afterwards, so lookups are lock-free.
+func (p *Prepared) Sheet(e *Entry) *cssx.Stylesheet { return p.sheets[e] }
+
+// Memo returns the value cached under key, invoking build exactly once
+// per key to produce it. Concurrent callers for the same key block
+// until the single build finishes. Builds may Memo other keys (the
+// strategy rewrite memo reads the analysis memo) but must not recurse
+// onto their own key. Values must follow the Prepared immutability
+// rules: read-only once returned.
+func (p *Prepared) Memo(key string, build func() any) any {
+	p.mu.Lock()
+	e, ok := p.memo[key]
+	if !ok {
+		e = &memoEntry{}
+		p.memo[key] = e
+	}
+	p.mu.Unlock()
+	e.once.Do(func() { e.val = build() })
+	return e.val
+}

@@ -119,12 +119,12 @@ func (r *Recorder) Crawl(name, startURL string, maxObjects int) (*Site, error) {
 			doc := htmlx.Parse(entry.Body)
 			refs = doc.ExternalURLs()
 			for _, st := range doc.InlineStyles {
-				sheet := cssx.Parse(st.Content)
+				sheet := cssx.ParseString(st.Content)
 				refs = append(refs, sheet.Imports...)
 				refs = append(refs, sheet.AssetURLs...)
 			}
 		case page.KindCSS:
-			sheet := cssx.Parse(string(entry.Body))
+			sheet := cssx.Parse(entry.Body)
 			refs = append(refs, sheet.Imports...)
 			refs = append(refs, sheet.AssetURLs...)
 			for _, ff := range sheet.FontFaces {

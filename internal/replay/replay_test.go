@@ -52,10 +52,19 @@ func TestDBReplaceAndClone(t *testing.T) {
 	if db.Len() != 1 {
 		t.Fatalf("Len = %d after replace", db.Len())
 	}
+	// Clone shares immutable entries; a rewrite replaces entries via Add
+	// and must leave the original database untouched.
 	clone := db.Clone()
-	clone.Lookup("a.test", "/x").Body[0] = 'Z'
+	if clone.Lookup("a.test", "/x") != db.Lookup("a.test", "/x") {
+		t.Fatal("clone copied entries instead of sharing them")
+	}
+	repl := entry("https://a.test/x", "three")
+	clone.Add(repl)
 	if string(db.Lookup("a.test", "/x").Body) != "two" {
-		t.Fatal("clone shares body with original")
+		t.Fatal("replacing an entry in the clone mutated the original")
+	}
+	if string(clone.Lookup("a.test", "/x").Body) != "three" {
+		t.Fatal("replacement entry not visible in clone")
 	}
 }
 

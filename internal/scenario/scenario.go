@@ -215,9 +215,30 @@ func (sc Scenario) Derive(seed int64) *Conditions {
 // most once per Conditions — the scaling consumes the derivation's RNG
 // stream, so a second call would realise a different site.
 func (c *Conditions) ApplySite(site *replay.Site) *replay.Site {
-	if !c.thirdParty.enabled() {
-		return site
-	}
+	return c.ApplySiteInto(site, &SiteScratch{})
+}
+
+// SiteScratch is the reusable backing store for per-run third-party
+// overlays. A run context keeps one and hands it to ApplySiteInto every
+// run: the variant site, its database and the scaled entries (and their
+// body buffers) are built once per base site and only the scaled bytes
+// are rewritten per run, so a warm overlay allocates nothing. The
+// scratch must be owned by a single worker — the overlay it returns is
+// only valid until the next ApplySiteInto call on the same scratch.
+type SiteScratch struct {
+	base    *replay.Site
+	variant *replay.Site
+	scaled  []*replay.Entry // overlay entries whose bodies are rewritten per run
+	orig    []*replay.Entry // the recorded entries they scale, same order
+}
+
+// rebuild constructs the overlay skeleton for a new base site: shared
+// (authoritative) entries are added by pointer, third-party entries get
+// a scratch-owned copy whose Body is filled in per run.
+func (sc *SiteScratch) rebuild(site *replay.Site) {
+	sc.base = site
+	sc.scaled = sc.scaled[:0]
+	sc.orig = sc.orig[:0]
 	db := replay.NewDB()
 	for _, e := range site.DB.Entries() {
 		if site.Authoritative(site.Base.Authority, e.URL.Authority) {
@@ -225,17 +246,40 @@ func (c *Conditions) ApplySite(site *replay.Site) *replay.Site {
 			continue
 		}
 		ne := *e
+		ne.Body = nil
+		db.Add(&ne)
+		sc.scaled = append(sc.scaled, &ne)
+		sc.orig = append(sc.orig, e)
+	}
+	sc.variant = site.NewVariant(db)
+}
+
+// ApplySiteInto is ApplySite with the overlay allocated from (and
+// cached in) scratch. The realised site is byte-identical to what
+// ApplySite would build — same entries, same draw order, same scaled
+// bodies — but a warm scratch reuses the variant site, database and
+// body buffers across runs.
+func (c *Conditions) ApplySiteInto(site *replay.Site, scratch *SiteScratch) *replay.Site {
+	if !c.thirdParty.enabled() {
+		return site
+	}
+	if scratch.base != site {
+		scratch.rebuild(site)
+	}
+	for i, e := range scratch.orig {
+		ne := scratch.scaled[i]
 		n := max(int(float64(len(e.Body))*c.thirdParty.draw(c.rng)), 16)
-		body := make([]byte, n)
-		copy(body, e.Body)
-		for i := len(e.Body); i < n; i++ {
-			body[i] = byte('x')
+		body := ne.Body
+		if cap(body) < n {
+			body = make([]byte, n)
+		} else {
+			body = body[:n]
+		}
+		m := copy(body, e.Body)
+		for j := m; j < n; j++ {
+			body[j] = byte('x')
 		}
 		ne.Body = body
-		db.Add(&ne)
 	}
-	return &replay.Site{
-		Name: site.Name, Base: site.Base, DB: db,
-		IPByHost: site.IPByHost, SANsByIP: site.SANsByIP,
-	}
+	return scratch.variant
 }

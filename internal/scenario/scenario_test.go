@@ -1,12 +1,14 @@
 package scenario
 
 import (
+	"bytes"
 	"strings"
 	"testing"
 	"time"
 
 	"repro/internal/corpus"
 	"repro/internal/netem"
+	"repro/internal/replay"
 )
 
 // TestNamedScenariosValidate is the library's contract: every shipped
@@ -191,4 +193,38 @@ func TestNegativeClientJitterValidates(t *testing.T) {
 	if c := sc.Derive(3); c.ClientJitterFrac != -1 {
 		t.Fatalf("derived jitter = %v", c.ClientJitterFrac)
 	}
+}
+
+// TestApplySiteIntoMatchesApplySite pins the overlay-scratch contract:
+// a warm SiteScratch must realise byte-identical sites to fresh
+// ApplySite calls, run after run, including after switching the scratch
+// to a different base site.
+func TestApplySiteIntoMatchesApplySite(t *testing.T) {
+	siteA := corpus.Generate(corpus.TopProfile(), 1, 3)
+	siteB := corpus.Generate(corpus.RandomProfile(), 2, 3)
+	scn := Internet()
+	var scratch SiteScratch
+	check := func(site *replay.Site, seed int64) {
+		t.Helper()
+		want := scn.Derive(seed).ApplySite(site)
+		got := scn.Derive(seed).ApplySiteInto(site, &scratch)
+		wantEntries, gotEntries := want.DB.Entries(), got.DB.Entries()
+		if len(gotEntries) != len(wantEntries) {
+			t.Fatalf("seed %d: %d entries, want %d", seed, len(gotEntries), len(wantEntries))
+		}
+		for i, we := range wantEntries {
+			ge := gotEntries[i]
+			if ge.URL != we.URL {
+				t.Fatalf("seed %d: entry %d is %v, want %v", seed, i, ge.URL, we.URL)
+			}
+			if !bytes.Equal(ge.Body, we.Body) {
+				t.Fatalf("seed %d: body of %s diverged (%d vs %d bytes)", seed, we.URL.Path, len(ge.Body), len(we.Body))
+			}
+		}
+	}
+	for seed := int64(1); seed <= 5; seed++ {
+		check(siteA, seed) // warm reuse across runs
+	}
+	check(siteB, 1) // base switch rebuilds the overlay
+	check(siteA, 9) // and back
 }

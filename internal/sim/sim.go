@@ -19,7 +19,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
@@ -49,37 +48,108 @@ func (e *Event) At() time.Duration { return e.at }
 // already cancelled) is a no-op.
 func (e *Event) Cancel() {
 	if e.index >= 0 {
-		heap.Remove(&e.s.queue, e.index)
+		e.s.removeEvent(e.index)
 	}
 }
+
+// The event queue is a hand-rolled 4-ary min-heap ordered by (at, seq).
+// The ordering is a strict total order (seq is unique), so the sequence
+// of popped events — and therefore every simulation — is identical to
+// any other correct priority queue; the wider fan-out just halves the
+// tree depth, which measurably cuts the pop cost that dominates a
+// steady-state run once per-run setup is amortized away.
 
 type eventHeap []*Event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func eventLess(a, b *Event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+
+func (s *Sim) pushEvent(e *Event) {
+	s.queue = append(s.queue, e)
+	e.index = len(s.queue) - 1
+	s.siftUp(e.index)
 }
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
+
+func (s *Sim) popEvent() *Event {
+	q := s.queue
+	last := len(q) - 1
+	e := q[0]
+	q[0] = q[last]
+	q[last] = nil
+	s.queue = q[:last]
+	if last > 0 {
+		q[0].index = 0
+		s.siftDown(0)
+	}
 	e.index = -1
-	*h = old[:n-1]
 	return e
+}
+
+func (s *Sim) removeEvent(i int) {
+	q := s.queue
+	last := len(q) - 1
+	e := q[i]
+	q[i] = q[last]
+	q[last] = nil
+	s.queue = q[:last]
+	if i < last {
+		q[i].index = i
+		if !s.siftDown(i) {
+			s.siftUp(i)
+		}
+	}
+	e.index = -1
+}
+
+func (s *Sim) siftUp(i int) {
+	q := s.queue
+	e := q[i]
+	for i > 0 {
+		p := (i - 1) / 4
+		if !eventLess(e, q[p]) {
+			break
+		}
+		q[i] = q[p]
+		q[i].index = i
+		i = p
+	}
+	q[i] = e
+	e.index = i
+}
+
+// siftDown restores the heap below i and reports whether the event
+// moved (Cancel uses that to decide whether to sift up instead).
+func (s *Sim) siftDown(i int) bool {
+	q := s.queue
+	n := len(q)
+	e := q[i]
+	i0 := i
+	for {
+		c := 4*i + 1
+		if c >= n {
+			break
+		}
+		m := c
+		end := min(c+4, n)
+		for j := c + 1; j < end; j++ {
+			if eventLess(q[j], q[m]) {
+				m = j
+			}
+		}
+		if !eventLess(q[m], e) {
+			break
+		}
+		q[i] = q[m]
+		q[i].index = i
+		i = m
+	}
+	q[i] = e
+	e.index = i
+	return i > i0
 }
 
 // Sim is a discrete-event simulator with a virtual clock.
@@ -90,6 +160,7 @@ type Sim struct {
 	seq     uint64
 	curSeq  uint64
 	rng     *rand.Rand
+	src     rand.Source
 	running bool
 	free    []*Event // recycled AtCall events
 	// Limit bounds the number of events processed by Run as a runaway
@@ -101,7 +172,31 @@ type Sim struct {
 
 // New returns a simulator whose random source is seeded with seed.
 func New(seed int64) *Sim {
-	return &Sim{rng: rand.New(rand.NewSource(seed))}
+	src := rand.NewSource(seed)
+	return &Sim{rng: rand.New(src), src: src}
+}
+
+// Reset returns the simulator to its post-New(seed) state while keeping
+// the allocated event-queue capacity and the AtCall free list, so a
+// reused Sim schedules events without re-growing either. Any events
+// still queued are discarded (their callbacks never fire). The random
+// stream is reseeded, so a Reset(seed) run is bit-identical to a run on
+// a fresh New(seed) simulator.
+func (s *Sim) Reset(seed int64) {
+	if s.running {
+		panic("sim: Reset called while running")
+	}
+	for _, e := range s.queue {
+		e.fn, e.cb, e.arg, e.index = nil, nil, nil, -1
+		if e.pooled {
+			e.pooled = false
+			s.free = append(s.free, e)
+		}
+	}
+	s.queue = s.queue[:0]
+	s.now, s.seq, s.curSeq = 0, 0, 0
+	s.Limit, s.Horizon = 0, 0
+	s.src.Seed(seed)
 }
 
 // Now returns the current virtual time.
@@ -118,7 +213,7 @@ func (s *Sim) At(t time.Duration, fn func()) *Event {
 	}
 	s.seq++
 	e := &Event{at: t, seq: s.seq, fn: fn, s: s}
-	heap.Push(&s.queue, e)
+	s.pushEvent(e)
 	return e
 }
 
@@ -141,7 +236,7 @@ func (s *Sim) AtCall(t time.Duration, cb func(any), arg any) {
 		e = &Event{}
 	}
 	e.at, e.seq, e.cb, e.arg, e.s, e.pooled = t, s.seq, cb, arg, s, true
-	heap.Push(&s.queue, e)
+	s.pushEvent(e)
 }
 
 // After schedules fn to run d from now. Negative d is treated as zero.
@@ -182,7 +277,7 @@ func (s *Sim) Step() bool {
 	if len(s.queue) == 0 {
 		return false
 	}
-	e := heap.Pop(&s.queue).(*Event)
+	e := s.popEvent()
 	s.now = e.at
 	s.curSeq = e.seq
 	if e.pooled {

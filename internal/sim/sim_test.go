@@ -261,3 +261,51 @@ func TestReserveSeqAdvancesTieBreak(t *testing.T) {
 		t.Fatalf("order %v, want [1 2]", got)
 	}
 }
+
+// TestResetMatchesFresh pins the Reset contract: after Reset(seed), a
+// run — including random draws, pooled AtCall events and cancellations
+// — is bit-identical to one on a fresh New(seed) simulator, even when
+// the reused simulator previously ran something else and still had
+// events queued at Reset time.
+func TestResetMatchesFresh(t *testing.T) {
+	exercise := func(s *Sim) []time.Duration {
+		var fired []time.Duration
+		record := func(any) { fired = append(fired, s.Now()) }
+		for i := 0; i < 50; i++ {
+			d := time.Duration(s.Rand().Intn(1000)) * time.Microsecond
+			if i%3 == 0 {
+				s.AtCall(s.Now()+d, record, nil)
+			} else {
+				ev := s.After(d, func() { fired = append(fired, s.Now()) })
+				if i%5 == 0 {
+					ev.Cancel()
+				}
+			}
+		}
+		s.Run()
+		fired = append(fired, time.Duration(s.Rand().Int63n(1<<40)))
+		return fired
+	}
+
+	fresh := New(42)
+	want := exercise(fresh)
+
+	reused := New(7)
+	reused.After(time.Second, func() {})          // plain event left queued
+	reused.AtCall(time.Second, func(any) {}, nil) // pooled event left queued
+	reused.RunUntil(10 * time.Millisecond)
+	reused.Reset(42)
+	got := exercise(reused)
+
+	if len(got) != len(want) {
+		t.Fatalf("fired %d events after Reset, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d fired at %v after Reset, want %v", i, got[i], want[i])
+		}
+	}
+	if reused.Pending() != 0 {
+		t.Fatalf("pending = %d after drained run", reused.Pending())
+	}
+}

@@ -1,6 +1,7 @@
 package strategy
 
 import (
+	"strconv"
 	"strings"
 
 	"repro/internal/browser"
@@ -17,8 +18,9 @@ const CriticalCSSPath = "/__critical.css"
 // analysis is the manual-inspection step of Sec. 4.3/5 automated: the
 // render-critical resource set of a landing page.
 type analysis struct {
-	doc *htmlx.Document
-	atf []cssx.ElementSig
+	doc                  *htmlx.Document
+	atf                  []cssx.ElementSig
+	viewportW, viewportH int
 
 	criticalCSS string   // extracted critical rules
 	cssLinks    []string // absolute URLs of all linked stylesheets
@@ -29,14 +31,26 @@ type analysis struct {
 	interleaveOffset int
 }
 
+// analyze returns the site's render-critical analysis, computed once
+// per (site, viewport) and cached on the site's prepared state: every
+// optimized strategy shares one analysis instead of re-running layout
+// and critical-CSS extraction. The result is read-only.
 func analyze(site *replay.Site, viewportW, viewportH int) *analysis {
+	key := "strategy.analysis:" + strconv.Itoa(viewportW) + "x" + strconv.Itoa(viewportH)
+	return site.Prepared().Memo(key, func() any {
+		return analyzeUncached(site, viewportW, viewportH)
+	}).(*analysis)
+}
+
+func analyzeUncached(site *replay.Site, viewportW, viewportH int) *analysis {
+	prep := site.Prepared()
 	entry := site.DB.Lookup(site.Base.Authority, site.Base.Path)
 	if entry == nil {
 		return nil
 	}
-	a := &analysis{}
-	a.doc = htmlx.Parse(entry.Body)
-	a.atf = browser.ATFSignatures(entry.Body, viewportW, viewportH)
+	a := &analysis{viewportW: viewportW, viewportH: viewportH}
+	a.doc = prep.DocOf(entry)
+	a.atf = browser.SiteATFSignatures(site, viewportW, viewportH)
 
 	// Interleave offset: just past </head> plus the first bytes of
 	// <body> (Sec. 5), bounded below so the client has the document
@@ -78,7 +92,10 @@ func analyze(site *replay.Site, viewportW, viewportH int) *analysis {
 			if ce == nil {
 				continue
 			}
-			sheet := cssx.Parse(string(ce.Body))
+			sheet := prep.Sheet(ce)
+			if sheet == nil {
+				sheet = cssx.Parse(ce.Body)
+			}
 			res := cssx.ExtractCritical(sheet, a.atf)
 			critical.WriteString(res.CSS)
 			for _, ff := range sheet.FontFaces {
@@ -100,7 +117,7 @@ func analyze(site *replay.Site, viewportW, viewportH int) *analysis {
 
 	// ATF images via the layout model: image references whose element
 	// lands above the fold.
-	lay := layoutImages(entry.Body, viewportW, viewportH)
+	lay := layoutImages(a.doc, viewportW, viewportH)
 	for _, img := range lay {
 		u, err := page.ParseURL(img, site.Base)
 		if err == nil {
@@ -112,8 +129,7 @@ func analyze(site *replay.Site, viewportW, viewportH int) *analysis {
 
 // layoutImages returns the URLs of images with above-the-fold area, in
 // document order, using the same stacking layout as the browser model.
-func layoutImages(html []byte, viewportW, viewportH int) []string {
-	doc := htmlx.Parse(html)
+func layoutImages(doc *htmlx.Document, viewportW, viewportH int) []string {
 	y := 0
 	var out []string
 	imgByOffset := map[int]string{}
@@ -163,8 +179,21 @@ func (a *analysis) criticalPushList(site *replay.Site, withCriticalCSS bool) []s
 
 // rewriteSite clones the site, adds the critical stylesheet, references
 // it in <head> and moves every original stylesheet link to the end of
-// <body> (the paper's "no push optimized" document layout).
+// <body> (the paper's "no push optimized" document layout). The rewrite
+// is a pure function of the site and its analysis, so it is computed
+// once and cached on the site's prepared state: all three optimized
+// strategies share one (immutable) rewritten site, and repeated
+// evaluations stop re-cloning the database.
 func rewriteSite(site *replay.Site, a *analysis) *replay.Site {
+	// Keyed by the analysis viewport: a rewrite embeds that viewport's
+	// critical CSS, so two viewports must never share a cache slot.
+	key := "strategy.rewrite:" + strconv.Itoa(a.viewportW) + "x" + strconv.Itoa(a.viewportH)
+	return site.Prepared().Memo(key, func() any {
+		return rewriteSiteUncached(site, a)
+	}).(*replay.Site)
+}
+
+func rewriteSiteUncached(site *replay.Site, a *analysis) *replay.Site {
 	db := site.DB.Clone()
 	entry := db.Lookup(site.Base.Authority, site.Base.Path)
 	critURL := page.URL{Scheme: site.Base.Scheme, Authority: site.Base.Authority, Path: CriticalCSSPath}

@@ -21,7 +21,6 @@ import (
 	"fmt"
 	"sort"
 
-	"repro/internal/htmlx"
 	"repro/internal/page"
 	"repro/internal/replay"
 )
@@ -107,7 +106,8 @@ func pushableOrder(site *replay.Site, order []string) []string {
 }
 
 // orderOrStatic returns the majority-vote order when a trace exists, or
-// the static document order otherwise.
+// the static document order otherwise (through the site's prepared
+// parse, so the fallback stops re-tokenizing the document).
 func orderOrStatic(site *replay.Site, tr *Trace) []string {
 	if tr != nil && len(tr.Orders) > 0 {
 		return tr.MajorityOrder()
@@ -116,7 +116,7 @@ func orderOrStatic(site *replay.Site, tr *Trace) []string {
 	if entry == nil {
 		return nil
 	}
-	doc := htmlx.Parse(entry.Body)
+	doc := site.Prepared().DocOf(entry)
 	var out []string
 	for _, r := range doc.Resources {
 		u, err := page.ParseURL(r.URL, site.Base)

@@ -6,16 +6,18 @@
 #   smoke  one iteration per benchmark (CI: proves the harness works)
 #   full   timed runs (default; override duration with BENCHTIME=5s)
 #
-# The default output path is BENCH_pr3.json in the repo root, the perf
-# baseline established by PR 3's zero-copy data plane. The checked-in
-# BENCH_pr3.json wraps two of these records ("before"/"after" the
-# refactor); subsequent PRs append their own BENCH_prN.json by pointing
-# the second argument at a new file.
+# The default output path is BENCH_pr4.json in the repo root, the perf
+# record established by PR 4's prepare-once/replay-many split (prepared
+# sites + reusable run contexts). The checked-in BENCH_prN.json files
+# wrap two of these records ("before"/"after" each refactor); subsequent
+# PRs append their own BENCH_prN.json by pointing the second argument at
+# a new file. The benchmark set includes the Jobs=1/2/4/8 engine sweep,
+# so the scaling curve is part of every record.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 mode="${1:-full}"
-out="${2:-BENCH_pr3.json}"
+out="${2:-BENCH_pr4.json}"
 
 args=(-run '^$' -bench 'PageLoad|ScenarioSweep|Engine' -benchmem)
 case "$mode" in
