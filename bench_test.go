@@ -386,3 +386,24 @@ func BenchmarkStrategyCompilation(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkPageLoadWarm measures steady-state single-load throughput on
+// a reused RunContext: the prepare-once/replay-many hot path the
+// experiment drivers run on. The dense-ID refactor pins this at well
+// under 900 allocs/op (see TestRunContextReuseAllocBudget).
+func BenchmarkPageLoadWarm(b *testing.B) {
+	site := corpus.Generate(corpus.RandomProfile(), 0, 1)
+	tb := core.NewTestbed()
+	plan := replay.NoPush()
+	rc := core.NewRunContext()
+	if r := tb.RunOnceWith(rc, site, plan, 0); !r.Completed {
+		b.Fatal("incomplete warm-up load")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r := tb.RunOnceWith(rc, site, plan, 1); !r.Completed {
+			b.Fatal("incomplete load")
+		}
+	}
+}

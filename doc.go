@@ -62,13 +62,39 @@
 // scratch. The engine creates one RunContext per worker and threads it
 // through every run that worker executes (core.Testbed.RunOnceWith);
 // contexts never cross workers and cache only scratch, never results,
-// so reuse cannot change any output. Experiment tables are pinned
-// byte-for-byte across all of this machinery by golden-fixture tests
-// (internal/core/testdata) at Jobs=1 and Jobs=N under -race, and
-// allocation budgets are enforced by regression tests
-// (TestPageLoadAllocBudget, TestRunContextReuseAllocBudget);
+// so reuse cannot change any output.
+//
+// # The intern table: dense IDs and pre-encoded headers
+//
+// Preparation also assigns every name the site can mention a dense
+// integer ID (replay.Prepared.Interns): resource URLs, connection
+// groups (coalescing classes of authorities) and font families. The
+// contract is that IDs are prepare-time-stable, strictly per-site and
+// never reused across prepared sites — a rewritten site is a new Site
+// with its own Prepared and its own ID space, while a scenario variant
+// shares its base's Prepared and therefore its base's IDs. The per-run
+// hot path then touches only integers: the browser loader's resource,
+// connection and font state are slice tables indexed by ID (string maps
+// survive only as the overflow path for names outside the prepared
+// space), the farm's push sets are ID-indexed bitsets resolved once per
+// (site, plan), and h2 stream and priority tables are slices keyed by a
+// per-connection dense stream index. The intern table also carries the
+// prepare-time HPACK pre-encoding: request/push-promise and response
+// header blocks are encoded once per site and replayed as a memcpy when
+// the connection's encoder state provably matches (hpack.PreEncoded);
+// otherwise the live encoder runs — the wire bytes are identical either
+// way, byte-equality pinned by tests. h2 client and server connection
+// objects (cores, codec state, stream structs, priority nodes) are
+// pooled on the run context's loader and farm and fully Reset between
+// runs.
+//
+// Experiment tables are pinned byte-for-byte across all of this
+// machinery by golden-fixture tests (internal/core/testdata) at Jobs=1
+// and Jobs=N under -race, and allocation budgets are enforced by
+// regression tests (TestPageLoadAllocBudget,
+// TestRunContextReuseAllocBudget, TestFrameReaderAllocBudget);
 // scripts/bench.sh tracks the perf trajectory (BENCH_pr3.json,
-// BENCH_pr4.json).
+// BENCH_pr4.json, BENCH_pr5.json).
 //
 // See README.md for building, running the experiment drivers
 // (cmd/pushbench) and benchmarking. bench_test.go regenerates every

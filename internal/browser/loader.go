@@ -1,11 +1,13 @@
 package browser
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 	"time"
 
 	"repro/internal/cssx"
 	"repro/internal/h2"
+	"repro/internal/hpack"
 	"repro/internal/htmlx"
 	"repro/internal/metrics"
 	"repro/internal/netem"
@@ -51,8 +53,11 @@ type Result struct {
 }
 
 type resource struct {
-	url   page.URL
-	key   string
+	ld  *Loader
+	id  int32 // site intern ID, -1 for overflow (non-interned) resources
+	url page.URL
+	key string
+
 	kind  page.Kind
 	entry *replay.Entry
 
@@ -71,10 +76,17 @@ type resource struct {
 	weight     uint8
 	parent     uint32
 
-	pendingImps map[string]bool // outstanding @imports
+	pendingImps int // outstanding @imports
 
 	onLoaded    []func()
 	cssReadyCBs []func()
+
+	// Persistent per-struct transport callbacks: resource structs are
+	// pooled by the loader, so these closures (capturing only the stable
+	// resource and loader pointers) are built once per struct and reused
+	// by every run instead of allocating per fetch.
+	onDataFn     func(chunk []byte)
+	onCompleteFn func(total int)
 }
 
 // content returns the resource's full body once loaded. Entry-backed
@@ -91,10 +103,20 @@ func (r *resource) content() []byte {
 type conn struct {
 	key        string
 	client     *h2.Client
+	bundle     *clientBundle
 	ready      bool
-	queue      []func()
+	onReady    []func()    // queued actions waiting for connectEnd (the base request)
+	pending    []*resource // queued fetches waiting for connectEnd
 	connectEnd time.Duration
 	mainID     uint32 // stream ID of the base document if on this conn
+}
+
+// clientBundle pairs a pooled h2 client with its sim endpoint; both are
+// recycled across runs so a warm dial re-attaches fully grown h2 state
+// to a fresh transport.
+type clientBundle struct {
+	cl *h2.Client
+	ep *h2.SimEndpoint
 }
 
 type milestone struct {
@@ -118,11 +140,16 @@ type cssWaiter struct {
 }
 
 // Loader drives one page load inside the simulator. A Loader is
-// reusable: Reset re-arms it for another run while keeping its maps,
-// slices and pooled resource structs warm, so steady-state runs do not
-// re-grow any of the per-run bookkeeping. All static page state lives
-// in the shared preparedPage; everything on the Loader is owned by the
-// current run only.
+// reusable: Reset re-arms it for another run while keeping its slice
+// tables, pooled resource structs and pooled h2 connections warm, so
+// steady-state runs do not re-grow any of the per-run bookkeeping.
+//
+// Per-run resource and connection state lives in dense slice tables
+// indexed by the prepared site's intern IDs (resource ID, connection
+// group ID, font family ID); string-keyed maps survive only as the
+// overflow path for names the prepared site could not intern. All
+// static page state lives in the shared preparedPage; everything on the
+// Loader is owned by the current run only.
 type Loader struct {
 	s    *sim.Sim
 	farm *replay.Farm
@@ -131,10 +158,34 @@ type Loader struct {
 	res  *Result
 
 	pp *preparedPage
+	in *replay.Interns
 
-	conns     map[string]*conn
-	resources map[string]*resource
-	resFree   []*resource
+	// Resource tables: resTab is indexed by intern ID; extra holds
+	// overflow resources; active lists every resource of the run in
+	// creation order (both tables).
+	resTab  []*resource
+	extra   map[string]*resource
+	active  []*resource
+	resFree []*resource
+
+	// Connection tables: connTab is indexed by intern connection-group
+	// ID; connExtra holds overflow (unknown-host) connections; connActive
+	// lists all of the run's conns.
+	connTab    []*conn
+	connExtra  map[string]*conn
+	connActive []*conn
+	connFree   []*conn
+
+	clPool []*clientBundle // pooled h2 client connections
+
+	// Font tables: fontTab is indexed by intern family ID; fonts is the
+	// overflow for families outside the prepared ID space.
+	fontTab []*resource
+	fonts   map[string]*resource
+
+	settings h2.Settings // per-run client h2 settings
+	onPushFn func(parent, promised *h2.ClientStream) bool
+	prio     h2.PriorityParam // scratch for request priority params
 
 	mi      int
 	scanIdx int // first doc.Resources index the preload scanner has not covered
@@ -147,9 +198,17 @@ type Loader struct {
 	execBlocked  bool      // a script (inline or sync) is executing / awaiting CSSOM
 	parserDone   bool
 
+	// Single-flight scheduling state for the pooled-event (sim.AtCall)
+	// callbacks: at most one parse, one exec and one deferred-script step
+	// is in flight at a time, so their parameters live here instead of in
+	// per-event closures.
+	parseTarget    int
+	parseMilestone bool
+	execR          *resource
+	defIdx         int
+
 	cssRefs    []cssRef
 	cssWaiters []cssWaiter
-	fonts      map[string]*resource // family -> font resource
 
 	deferred []*resource
 
@@ -179,23 +238,47 @@ func (ld *Loader) Reset(s *sim.Sim, farm *replay.Farm, cfg Config) {
 		progress, timings := ld.res.Progress[:0], ld.res.Timings[:0]
 		*ld.res = Result{Progress: progress, Timings: timings}
 	}
-	if ld.conns == nil {
-		ld.conns = map[string]*conn{}
-		ld.resources = map[string]*resource{}
-		ld.fonts = map[string]*resource{}
-	} else {
-		for _, r := range ld.resources {
-			*r = resource{}
-			ld.resFree = append(ld.resFree, r)
-		}
-		clear(ld.conns)
-		clear(ld.resources)
-		clear(ld.fonts)
+
+	// Recycle the previous run's resources and connections.
+	for _, r := range ld.active {
+		od, oc := r.onDataFn, r.onCompleteFn
+		*r = resource{ld: ld, onDataFn: od, onCompleteFn: oc}
+		ld.resFree = append(ld.resFree, r)
 	}
+	ld.active = ld.active[:0]
+	for _, c := range ld.connActive {
+		if c.bundle != nil {
+			ld.clPool = append(ld.clPool, c.bundle)
+		}
+		*c = conn{onReady: c.onReady[:0], pending: c.pending[:0]}
+		ld.connFree = append(ld.connFree, c)
+	}
+	ld.connActive = ld.connActive[:0]
+
+	// Size the dense tables from the prepared site's intern spaces.
+	ld.in = farm.Site.Prepared().Interns()
+	ld.resTab = clearedTable(ld.resTab, ld.in.NumResources())
+	ld.connTab = clearedTable(ld.connTab, ld.in.NumConnGroups())
+	ld.fontTab = clearedTable(ld.fontTab, ld.in.NumFamilies())
+	clear(ld.extra)
+	clear(ld.connExtra)
+	clear(ld.fonts)
+
+	ld.settings = h2.DefaultSettings()
+	ld.settings.EnablePush = cfg.EnablePush
+	ld.settings.InitialWindowSize = 6 * 1024 * 1024
+	if ld.onPushFn == nil {
+		ld.onPushFn = func(parent, promised *h2.ClientStream) bool {
+			return ld.onPush(promised)
+		}
+	}
+
 	ld.pp = nil
 	ld.mi, ld.scanIdx = 0, 0
 	ld.received, ld.htmlComplete, ld.parsePos = 0, false, 0
 	ld.parsing, ld.parserBlock, ld.execBlocked, ld.parserDone = false, nil, false, false
+	ld.parseTarget, ld.parseMilestone = 0, false
+	ld.execR, ld.defIdx = nil, 0
 	ld.cssRefs = ld.cssRefs[:0]
 	ld.cssWaiters = ld.cssWaiters[:0]
 	ld.deferred = ld.deferred[:0]
@@ -207,6 +290,15 @@ func (ld *Loader) Reset(s *sim.Sim, farm *replay.Farm, cfg Config) {
 	ld.baseEntry = nil
 }
 
+func clearedTable[T any](tab []*T, n int) []*T {
+	if cap(tab) < n {
+		return make([]*T, n)
+	}
+	tab = tab[:n]
+	clear(tab)
+	return tab
+}
+
 func (ld *Loader) newResource() *resource {
 	if n := len(ld.resFree); n > 0 {
 		r := ld.resFree[n-1]
@@ -214,7 +306,10 @@ func (ld *Loader) newResource() *resource {
 		ld.resFree = ld.resFree[:n-1]
 		return r
 	}
-	return &resource{}
+	r := &resource{ld: ld}
+	r.onDataFn = func(chunk []byte) { r.ld.onChunk(r, chunk) }
+	r.onCompleteFn = func(int) { r.ld.onLoaded(r) }
+	return r
 }
 
 // Result returns the load outcome; call after the simulation ran. The
@@ -243,14 +338,14 @@ func (ld *Loader) Start() {
 	// Pre-register render-blocking CSS references (everything except
 	// print stylesheets blocks paint of content after its reference).
 	for _, pc := range ld.pp.cssRefs {
-		res := ld.ensureResourceKey(ld.pp.refURL[pc.idx], ld.pp.refKey[pc.idx], page.KindCSS)
+		res := ld.ensureRef(pc.idx, page.KindCSS)
 		ld.cssRefs = append(ld.cssRefs, cssRef{offset: pc.offset, res: res})
 	}
 
 	r := ld.ensureResourceKey(base, ld.pp.baseKey, page.KindHTML)
 	r.discovered = true
 	r.requested = true
-	c := ld.connFor(base.Authority)
+	c := ld.connFor(base.Authority, -1)
 	issue := func() {
 		ld.res.ConnectEnd = c.connectEnd
 		ld.horizon = ld.s.At(c.connectEnd+ld.cfg.MaxDuration, func() {
@@ -262,10 +357,13 @@ func (ld *Loader) Start() {
 		})
 		r.start = ld.s.Now()
 		r.weight = weightHTML
+		ld.prio = h2.PriorityParam{ParentID: 0, Weight: weightHTML}
 		cs := c.client.Request(h2.Request{
 			Method: "GET", Scheme: base.Scheme, Authority: base.Authority, Path: base.Path,
 		}, h2.RequestOpts{
-			Priority: &h2.PriorityParam{ParentID: 0, Weight: weightHTML},
+			Priority: &ld.prio,
+			Fields:   ld.reqFieldsFor(r),
+			Pre:      ld.reqPreFor(r),
 			OnData: func(chunk []byte) {
 				ld.received += len(chunk)
 				r.bytes += len(chunk)
@@ -286,31 +384,99 @@ func (ld *Loader) Start() {
 	if c.ready {
 		issue()
 	} else {
-		c.queue = append(c.queue, issue)
+		c.onReady = append(c.onReady, issue)
 	}
 }
 
 // --- resource bookkeeping ---
 
-// ensureResourceKey is ensureResource with the canonical key already
-// computed; the prepared page pre-computes keys so the per-run path
-// never re-renders URL strings.
-func (ld *Loader) ensureResourceKey(u page.URL, key string, kind page.Kind) *resource {
-	if r, ok := ld.resources[key]; ok {
+// reqFieldsFor returns the prepare-time request header list for an
+// interned resource, nil otherwise (the h2 layer then builds it).
+func (ld *Loader) reqFieldsFor(r *resource) []hpack.HeaderField {
+	if r.id >= 0 {
+		return ld.in.ReqFields(r.id)
+	}
+	return nil
+}
+
+func (ld *Loader) reqPreFor(r *resource) *hpack.PreEncoded {
+	if r.id >= 0 {
+		return ld.in.ReqPre(r.id)
+	}
+	return nil
+}
+
+// ensureResourceID returns (creating if needed) the resource for an
+// interned ID: the hot path, a slice index.
+func (ld *Loader) ensureResourceID(id int32, u page.URL, key string, kind page.Kind) *resource {
+	if r := ld.resTab[id]; r != nil {
 		return r
 	}
+	r := ld.initResource(u, key, kind)
+	r.id = id
+	ld.resTab[id] = r
+	return r
+}
+
+func (ld *Loader) initResource(u page.URL, key string, kind page.Kind) *resource {
 	r := ld.newResource()
 	r.url, r.key, r.kind = u, key, kind
 	r.entry = ld.site.DB.Lookup(u.Authority, u.Path)
 	if r.entry != nil && kind == page.KindOther {
 		r.kind = r.entry.Kind()
 	}
-	ld.resources[key] = r
+	ld.active = append(ld.active, r)
 	return r
+}
+
+// ensureResourceKey is ensureResource with the canonical key already
+// computed; interned keys land in the dense table, others in the
+// overflow map.
+func (ld *Loader) ensureResourceKey(u page.URL, key string, kind page.Kind) *resource {
+	if id, ok := ld.in.Lookup(key); ok {
+		return ld.ensureResourceID(id, u, key, kind)
+	}
+	if r, ok := ld.extra[key]; ok {
+		return r
+	}
+	r := ld.initResource(u, key, kind)
+	r.id = -1
+	if ld.extra == nil {
+		ld.extra = map[string]*resource{}
+	}
+	ld.extra[key] = r
+	return r
+}
+
+// ensureRef resolves document reference idx through the prepared page's
+// pre-resolved intern ID when available.
+func (ld *Loader) ensureRef(idx int, kind page.Kind) *resource {
+	if id := ld.pp.refID[idx]; id >= 0 {
+		return ld.ensureResourceID(id, ld.pp.refURL[idx], ld.pp.refKey[idx], kind)
+	}
+	return ld.ensureResourceKey(ld.pp.refURL[idx], ld.pp.refKey[idx], kind)
+}
+
+// ensureSheetRef resolves a stylesheet reference through its prepared
+// intern ID when available.
+func (ld *Loader) ensureSheetRef(id int32, u page.URL, key string, kind page.Kind) *resource {
+	if id >= 0 {
+		return ld.ensureResourceID(id, u, key, kind)
+	}
+	return ld.ensureResourceKey(u, key, kind)
 }
 
 func (ld *Loader) ensureResource(u page.URL, kind page.Kind) *resource {
 	return ld.ensureResourceKey(u, u.String(), kind)
+}
+
+// lookupResource returns the run's resource for a canonical key, nil
+// when none was created.
+func (ld *Loader) lookupResource(key string) *resource {
+	if id, ok := ld.in.Lookup(key); ok {
+		return ld.resTab[id]
+	}
+	return ld.extra[key]
 }
 
 func classWeight(kind page.Kind, async bool) uint8 {
@@ -342,27 +508,36 @@ func (ld *Loader) fetch(r *resource, async bool) {
 	r.requested = true
 	r.start = ld.s.Now()
 	r.weight = classWeight(r.kind, async)
-	c := ld.connFor(r.url.Authority)
-	issue := func() {
-		parent := uint32(0)
-		if c.mainID != 0 {
-			parent = c.mainID
-		}
-		r.parent = parent
-		c.client.Request(h2.Request{
-			Method: "GET", Scheme: r.url.Scheme, Authority: r.url.Authority, Path: r.url.Path,
-		}, h2.RequestOpts{
-			Priority:   &h2.PriorityParam{ParentID: parent, Weight: r.weight},
-			OnData:     func(chunk []byte) { ld.onChunk(r, chunk) },
-			OnComplete: func(total int) { ld.onLoaded(r) },
-		})
-		ld.res.Requests++
+	group := int32(-1)
+	if r.id >= 0 {
+		group = ld.in.ConnGroupOf(r.id)
 	}
+	c := ld.connFor(r.url.Authority, group)
 	if c.ready {
-		issue()
+		ld.issueFetch(c, r)
 	} else {
-		c.queue = append(c.queue, issue)
+		c.pending = append(c.pending, r)
 	}
+}
+
+// issueFetch sends the request for r on the connected c.
+func (ld *Loader) issueFetch(c *conn, r *resource) {
+	parent := uint32(0)
+	if c.mainID != 0 {
+		parent = c.mainID
+	}
+	r.parent = parent
+	ld.prio = h2.PriorityParam{ParentID: parent, Weight: r.weight}
+	c.client.Request(h2.Request{
+		Method: "GET", Scheme: r.url.Scheme, Authority: r.url.Authority, Path: r.url.Path,
+	}, h2.RequestOpts{
+		Priority:   &ld.prio,
+		Fields:     ld.reqFieldsFor(r),
+		Pre:        ld.reqPreFor(r),
+		OnData:     r.onDataFn,
+		OnComplete: r.onCompleteFn,
+	})
+	ld.res.Requests++
 }
 
 func (ld *Loader) onChunk(r *resource, chunk []byte) {
@@ -372,33 +547,84 @@ func (ld *Loader) onChunk(r *resource, chunk []byte) {
 	}
 }
 
-// connFor returns (dialling if needed) the coalesced connection for host.
-func (ld *Loader) connFor(host string) *conn {
-	key := ld.site.ConnKey(host)
-	if c, ok := ld.conns[key]; ok {
+// connFor returns (dialling if needed) the coalesced connection for
+// host. group is the host's intern connection group when the caller has
+// it (-1 to resolve here); interned groups index the dense table,
+// unknown hosts fall back to the overflow map.
+func (ld *Loader) connFor(host string, group int32) *conn {
+	if group < 0 {
+		if g, ok := ld.in.ConnGroupOfHost(host); ok {
+			group = g
+		}
+	}
+	if group >= 0 {
+		if c := ld.connTab[group]; c != nil {
+			return c
+		}
+		c := ld.dial(host, ld.in.ConnKeyOf(group))
+		ld.connTab[group] = c
 		return c
 	}
-	c := &conn{key: key}
-	ld.conns[key] = c
+	key := ld.site.ConnKey(host)
+	if c, ok := ld.connExtra[key]; ok {
+		return c
+	}
+	c := ld.dial(host, key)
+	if ld.connExtra == nil {
+		ld.connExtra = map[string]*conn{}
+	}
+	ld.connExtra[key] = c
+	return c
+}
+
+func (ld *Loader) newConn(key string) *conn {
+	var c *conn
+	if n := len(ld.connFree); n > 0 {
+		c = ld.connFree[n-1]
+		ld.connFree[n-1] = nil
+		ld.connFree = ld.connFree[:n-1]
+	} else {
+		c = &conn{}
+	}
+	c.key = key
+	ld.connActive = append(ld.connActive, c)
+	return c
+}
+
+// dial opens the connection and attaches a pooled h2 client at
+// connectEnd.
+func (ld *Loader) dial(host, key string) *conn {
+	c := ld.newConn(key)
 	ld.res.Conns++
 	ld.farm.Dial(host, func(end *netem.End) {
-		settings := h2.DefaultSettings()
-		settings.EnablePush = ld.cfg.EnablePush
-		settings.InitialWindowSize = 6 * 1024 * 1024
-		cl := h2.NewClient(settings)
-		cl.OnPush = func(parent, promised *h2.ClientStream) bool {
-			return ld.onPush(promised)
-		}
-		h2.AttachSim(cl.Core, end)
-		c.client = cl
+		b := ld.getClientBundle()
+		b.cl.OnPush = ld.onPushFn
+		b.ep.Attach(b.cl.Core, end)
+		c.bundle = b
+		c.client = b.cl
 		c.ready = true
 		c.connectEnd = ld.s.Now()
-		for _, fn := range c.queue {
+		for _, fn := range c.onReady {
 			fn()
 		}
-		c.queue = nil
+		c.onReady = c.onReady[:0]
+		for _, r := range c.pending {
+			ld.issueFetch(c, r)
+		}
+		c.pending = c.pending[:0]
 	})
 	return c
+}
+
+func (ld *Loader) getClientBundle() *clientBundle {
+	if n := len(ld.clPool); n > 0 {
+		b := ld.clPool[n-1]
+		ld.clPool[n-1] = nil
+		ld.clPool = ld.clPool[:n-1]
+		b.cl.Reset(ld.settings)
+		return b
+	}
+	return &clientBundle{cl: h2.NewClient(ld.settings), ep: &h2.SimEndpoint{}}
 }
 
 // onPush decides whether to adopt a promised stream.
@@ -418,8 +644,8 @@ func (ld *Loader) onPush(promised *h2.ClientStream) bool {
 	r.start = ld.s.Now()
 	r.weight = classWeight(r.kind, false)
 	ld.res.PushedAccepted++
-	promised.OnData = func(chunk []byte) { ld.onChunk(r, chunk) }
-	promised.OnComplete = func(total int) { ld.onLoaded(r) }
+	promised.OnData = r.onDataFn
+	promised.OnComplete = r.onCompleteFn
 	return true
 }
 
@@ -443,13 +669,13 @@ func (ld *Loader) preloadScan() {
 }
 
 // discoverIdx fetches the resource behind document reference i, using
-// the prepared page's pre-resolved URL, key and kind.
+// the prepared page's pre-resolved URL, intern ID and kind.
 func (ld *Loader) discoverIdx(i int) *resource {
 	if !ld.pp.refOK[i] {
 		return nil
 	}
 	ref := &ld.pp.doc.Resources[i]
-	r := ld.ensureResourceKey(ld.pp.refURL[i], ld.pp.refKey[i], ld.pp.refKind[i])
+	r := ld.ensureRef(i, ld.pp.refKind[i])
 	ld.fetch(r, ref.Async || ref.Defer)
 	return r
 }
@@ -495,19 +721,25 @@ func (ld *Loader) advanceParser() {
 	ld.scheduleParse(target, atMilestone)
 }
 
+// loaderParseDone is the pooled-event callback for scheduleParse; the
+// parse parameters live on the loader (one parse in flight at a time).
+func loaderParseDone(a any) {
+	ld := a.(*Loader)
+	ld.parsing = false
+	ld.parsePos = ld.parseTarget
+	ld.tryPaint()
+	if ld.parseMilestone {
+		ld.handleMilestone()
+	} else {
+		ld.advanceParser()
+	}
+}
+
 func (ld *Loader) scheduleParse(to int, milestone bool) {
 	ld.parsing = true
+	ld.parseTarget, ld.parseMilestone = to, milestone
 	d := ld.computeDelay(float64(to-ld.parsePos) / ld.cfg.HTMLParseRate)
-	ld.s.After(d, func() {
-		ld.parsing = false
-		ld.parsePos = to
-		ld.tryPaint()
-		if milestone {
-			ld.handleMilestone()
-		} else {
-			ld.advanceParser()
-		}
-	})
+	ld.s.AtCall(ld.s.Now()+d, loaderParseDone, ld)
 }
 
 func (ld *Loader) handleMilestone() {
@@ -552,21 +784,30 @@ func (ld *Loader) blockOnScript(r *resource, offset int) {
 	r.onLoaded = append(r.onLoaded, run)
 }
 
+// loaderExecDone is the pooled-event callback for execAfterCSS's charged
+// execution delay (one exec in flight at a time; execR may be nil for
+// inline scripts).
+func loaderExecDone(a any) {
+	ld := a.(*Loader)
+	r := ld.execR
+	ld.execR = nil
+	ld.execBlocked = false
+	if r != nil {
+		r.executed = true
+		ld.parserBlock = nil
+	}
+	ld.checkLoad()
+	ld.advanceParser()
+}
+
 // execAfterCSS waits until every stylesheet referenced before offset is
 // ready, then charges the execution cost and resumes the parser.
 func (ld *Loader) execAfterCSS(offset int, costMS float64, r *resource) {
 	ld.execBlocked = true
 	run := func() {
 		d := ld.computeDelay(costMS)
-		ld.s.After(d, func() {
-			ld.execBlocked = false
-			if r != nil {
-				r.executed = true
-				ld.parserBlock = nil
-			}
-			ld.checkLoad()
-			ld.advanceParser()
-		})
+		ld.execR = r
+		ld.s.AtCall(ld.s.Now()+d, loaderExecDone, ld)
 	}
 	if ld.cssReadyBefore(offset) {
 		run()
@@ -604,6 +845,15 @@ func (ld *Loader) finishParsing() {
 	ld.runDeferred(0)
 }
 
+// loaderDeferredDone is the pooled-event callback for one deferred
+// script's execution charge (deferred scripts run strictly in order).
+func loaderDeferredDone(a any) {
+	ld := a.(*Loader)
+	r := ld.deferred[ld.defIdx]
+	r.executed = true
+	ld.runDeferred(ld.defIdx + 1)
+}
+
 func (ld *Loader) runDeferred(i int) {
 	if i >= len(ld.deferred) {
 		ld.tryPaint()
@@ -616,10 +866,8 @@ func (ld *Loader) runDeferred(i int) {
 		if r.entry != nil {
 			cost += r.entry.Meta.ExecMS
 		}
-		ld.s.After(ld.computeDelay(cost), func() {
-			r.executed = true
-			ld.runDeferred(i + 1)
-		})
+		ld.defIdx = i
+		ld.s.AtCall(ld.s.Now()+ld.computeDelay(cost), loaderDeferredDone, ld)
 	}
 	if r.loaded {
 		run()
@@ -629,6 +877,22 @@ func (ld *Loader) runDeferred(i int) {
 }
 
 // --- resource completion ---
+
+// resourceCSSParsed is the pooled-event callback for a stylesheet's
+// parse completion (several sheets may be parsing concurrently, so the
+// argument is the resource itself).
+func resourceCSSParsed(a any) {
+	r := a.(*resource)
+	r.ld.onCSSParsed(r)
+}
+
+// resourceJSExecuted is the pooled-event callback for an async or
+// pushed-ahead script's execution completion.
+func resourceJSExecuted(a any) {
+	r := a.(*resource)
+	r.executed = true
+	r.ld.checkLoad()
+}
 
 func (ld *Loader) onLoaded(r *resource) {
 	if r.loaded {
@@ -644,7 +908,7 @@ func (ld *Loader) onLoaded(r *resource) {
 		if r.entry != nil {
 			d += ld.computeDelay(r.entry.Meta.ParseMS)
 		}
-		ld.s.After(d, func() { ld.onCSSParsed(r) })
+		ld.s.AtCall(ld.s.Now()+d, resourceCSSParsed, r)
 	case page.KindJS:
 		r.ready = true
 		if ld.parserBlock != r {
@@ -653,10 +917,7 @@ func (ld *Loader) onLoaded(r *resource) {
 			if r.entry != nil {
 				cost += r.entry.Meta.ExecMS
 			}
-			ld.s.After(ld.computeDelay(cost), func() {
-				r.executed = true
-				ld.checkLoad()
-			})
+			ld.s.AtCall(ld.s.Now()+ld.computeDelay(cost), resourceJSExecuted, r)
 		}
 	default:
 		r.ready = true
@@ -679,7 +940,7 @@ func (ld *Loader) sheetInfoFor(r *resource) *sheetInfo {
 			return si
 		}
 	}
-	return buildSheetInfo(cssx.Parse(r.content()), r.url)
+	return buildSheetInfoIn(cssx.Parse(r.content()), r.url, ld.in)
 }
 
 func (ld *Loader) onCSSParsed(r *resource) {
@@ -687,38 +948,54 @@ func (ld *Loader) onCSSParsed(r *resource) {
 	// Fonts and asset images become fetchable only now (they are not
 	// preload-scannable), which is why the paper pushes "hidden" fonts.
 	for _, f := range si.fonts {
-		fr := ld.ensureResourceKey(f.u, f.key, page.KindFont)
-		if _, ok := ld.fonts[f.family]; !ok {
+		fr := ld.ensureSheetRef(f.id, f.u, f.key, page.KindFont)
+		if f.famID >= 0 {
+			if ld.fontTab[f.famID] == nil {
+				ld.fontTab[f.famID] = fr
+			}
+		} else if _, ok := ld.fonts[f.family]; !ok {
+			if ld.fonts == nil {
+				ld.fonts = map[string]*resource{}
+			}
 			ld.fonts[f.family] = fr
 		}
 		ld.fetch(fr, false)
 	}
 	for _, a := range si.assets {
-		ar := ld.ensureResourceKey(a.u, a.key, page.KindImage)
+		ar := ld.ensureSheetRef(a.id, a.u, a.key, page.KindImage)
 		ld.fetch(ar, true)
 	}
 	// @imports must be ready before this sheet counts as ready.
 	if len(si.imports) > 0 {
-		r.pendingImps = map[string]bool{}
-		for _, imp := range si.imports {
-			ir := ld.ensureResourceKey(imp.u, imp.key, page.KindCSS)
+		r.pendingImps = 0
+		for i, imp := range si.imports {
+			dup := false
+			for j := 0; j < i; j++ {
+				if si.imports[j].key == imp.key {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+			ir := ld.ensureSheetRef(imp.id, imp.u, imp.key, page.KindCSS)
 			if ir.ready {
 				continue
 			}
-			r.pendingImps[ir.key] = true
-			key := ir.key
+			r.pendingImps++
 			ir.onLoaded = append(ir.onLoaded, func() {
 				// Imported sheet still needs its own parse; hook ready.
 				ld.whenCSSReady(ir, func() {
-					delete(r.pendingImps, key)
-					if len(r.pendingImps) == 0 {
+					r.pendingImps--
+					if r.pendingImps == 0 {
 						ld.markCSSReady(r)
 					}
 				})
 			})
 			ld.fetch(ir, false)
 		}
-		if len(r.pendingImps) == 0 {
+		if r.pendingImps == 0 {
 			ld.markCSSReady(r)
 		}
 		return
@@ -763,14 +1040,24 @@ func (ld *Loader) unitReady(i int, u *visualUnit) bool {
 		}
 	}
 	if u.isImage && u.imgURL != "" {
-		if key := ld.pp.unitImgKey[i]; key != "" {
-			if r, ok := ld.resources[key]; ok && !r.loaded {
-				return false
-			}
+		var r *resource
+		if id := ld.pp.unitImgID[i]; id >= 0 {
+			r = ld.resTab[id]
+		} else if key := ld.pp.unitImgKey[i]; key != "" {
+			r = ld.lookupResource(key)
+		}
+		if r != nil && !r.loaded {
+			return false
 		}
 	}
 	if u.fontFam != "" {
-		if fr, ok := ld.fonts[u.fontFam]; ok && !fr.loaded {
+		var fr *resource
+		if id := ld.pp.unitFontID[i]; id >= 0 {
+			fr = ld.fontTab[id]
+		} else {
+			fr = ld.fonts[u.fontFam]
+		}
+		if fr != nil && !fr.loaded {
 			return false
 		}
 		// If the font-face is not yet known, any pending CSS keeps the
@@ -817,7 +1104,7 @@ func (ld *Loader) checkLoad() {
 	if ld.loadFired || !ld.parserDone {
 		return
 	}
-	for _, r := range ld.resources {
+	for _, r := range ld.active {
 		if !r.discovered || r.cancelled {
 			continue
 		}
@@ -844,7 +1131,7 @@ func (ld *Loader) finishVisuals(endAt time.Duration) {
 		ld.res.VisuallyComplete = rel
 	}
 	// Push accounting.
-	for _, r := range ld.resources {
+	for _, r := range ld.active {
 		if r.pushed && !r.cancelled {
 			if r.discovered {
 				ld.res.BytesPushedUsed += int64(r.bytes)
@@ -856,7 +1143,7 @@ func (ld *Loader) finishVisuals(endAt time.Duration) {
 	}
 	// Timings, ordered by start.
 	ld.res.Timings = ld.res.Timings[:0]
-	for _, r := range ld.resources {
+	for _, r := range ld.active {
 		if r.start == 0 && !r.pushed && !r.requested {
 			continue
 		}
@@ -866,11 +1153,10 @@ func (ld *Loader) finishVisuals(endAt time.Duration) {
 			Weight: r.weight, Parent: r.parent,
 		})
 	}
-	sort.Slice(ld.res.Timings, func(i, j int) bool {
-		a, b := ld.res.Timings[i], ld.res.Timings[j]
+	slices.SortFunc(ld.res.Timings, func(a, b ResourceTiming) int {
 		if a.Start != b.Start {
-			return a.Start < b.Start
+			return cmp.Compare(a.Start, b.Start)
 		}
-		return a.URL < b.URL
+		return cmp.Compare(a.URL, b.URL)
 	})
 }

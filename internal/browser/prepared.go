@@ -24,20 +24,27 @@ type preparedPage struct {
 	milestones []milestone
 
 	// Per doc.Resources index: the reference URL resolved against the
-	// site base (refOK false when unparseable), its canonical string key
-	// and its fetch kind (tag-adjusted, as discoverRef computed it).
+	// site base (refOK false when unparseable), its canonical string key,
+	// its fetch kind (tag-adjusted, as discoverRef computed it) and its
+	// site intern ID (-1 when the bundle was built without the site's
+	// intern table).
 	refURL  []page.URL
 	refKey  []string
 	refOK   []bool
 	refKind []page.Kind
+	refID   []int32
 
 	// Render-blocking CSS references (link tags, non-print media) in
 	// document order, by doc.Resources index.
 	cssRefs []preparedCSSRef
 
 	// unitImgKey[i] is the resolved resource key of lay.units[i]'s image
-	// ("" for text units and unresolvable image URLs).
+	// ("" for text units and unresolvable image URLs); unitImgID is its
+	// intern ID and unitFontID the unit's font-family intern ID (-1 when
+	// absent or unresolved).
 	unitImgKey []string
+	unitImgID  []int32
+	unitFontID []int32
 
 	// baseKey is the site base URL's canonical string.
 	baseKey string
@@ -63,13 +70,16 @@ type sheetInfo struct {
 
 type fontRef struct {
 	family string
+	famID  int32 // intern font-family ID, -1 unresolved
 	u      page.URL
 	key    string
+	id     int32 // intern resource ID, -1 unresolved
 }
 
 type urlRef struct {
 	u   page.URL
 	key string
+	id  int32 // intern resource ID, -1 unresolved
 }
 
 // pageMemoKey names the browser's prepared-page memo slot for a
@@ -100,6 +110,10 @@ func buildPreparedPage(doc *htmlx.Document, site *replay.Site, w, h int, prep *r
 		lay:     layout(doc, w, h),
 		baseKey: site.Base.String(),
 	}
+	var in *replay.Interns
+	if prep != nil {
+		in = prep.Interns()
+	}
 
 	// Milestone schedule: resource references, inline scripts and inline
 	// styles in byte order.
@@ -125,6 +139,10 @@ func buildPreparedPage(doc *htmlx.Document, site *replay.Site, w, h int, prep *r
 	pp.refKey = make([]string, n)
 	pp.refOK = make([]bool, n)
 	pp.refKind = make([]page.Kind, n)
+	pp.refID = make([]int32, n)
+	for i := range pp.refID {
+		pp.refID[i] = -1
+	}
 	for i := range doc.Resources {
 		r := &doc.Resources[i]
 		u, err := page.ParseURL(r.URL, site.Base)
@@ -134,6 +152,11 @@ func buildPreparedPage(doc *htmlx.Document, site *replay.Site, w, h int, prep *r
 		pp.refOK[i] = true
 		pp.refURL[i] = u
 		pp.refKey[i] = u.String()
+		if in != nil {
+			if id, ok := in.Lookup(pp.refKey[i]); ok {
+				pp.refID[i] = id
+			}
+		}
 		kind := page.KindFromPath(u.Path)
 		switch r.Tag {
 		case "link":
@@ -149,12 +172,25 @@ func buildPreparedPage(doc *htmlx.Document, site *replay.Site, w, h int, prep *r
 		}
 	}
 
-	// Resolve the layout units' image URLs once.
+	// Resolve the layout units' image URLs and font families once.
 	pp.unitImgKey = make([]string, len(pp.lay.units))
+	pp.unitImgID = make([]int32, len(pp.lay.units))
+	pp.unitFontID = make([]int32, len(pp.lay.units))
 	for i, u := range pp.lay.units {
+		pp.unitImgID[i], pp.unitFontID[i] = -1, -1
 		if u.isImage && u.imgURL != "" {
 			if iu, err := page.ParseURL(u.imgURL, site.Base); err == nil {
 				pp.unitImgKey[i] = iu.String()
+				if in != nil {
+					if id, ok := in.Lookup(pp.unitImgKey[i]); ok {
+						pp.unitImgID[i] = id
+					}
+				}
+			}
+		}
+		if u.fontFam != "" && in != nil {
+			if id, ok := in.FamilyID(u.fontFam); ok {
+				pp.unitFontID[i] = id
 			}
 		}
 	}
@@ -164,7 +200,7 @@ func buildPreparedPage(doc *htmlx.Document, site *replay.Site, w, h int, prep *r
 		pp.sheets = make(map[*replay.Entry]*sheetInfo)
 		for _, e := range site.DB.Entries() {
 			if sheet := prep.Sheet(e); sheet != nil {
-				pp.sheets[e] = buildSheetInfo(sheet, e.URL)
+				pp.sheets[e] = buildSheetInfoIn(sheet, e.URL, in)
 			}
 		}
 	}
@@ -184,9 +220,23 @@ func SiteATFSignatures(site *replay.Site, w, h int) []cssx.ElementSig {
 }
 
 // buildSheetInfo resolves a parsed stylesheet's references against the
-// URL the sheet is served from.
+// URL the sheet is served from (no intern resolution; per-run parses).
 func buildSheetInfo(sheet *cssx.Stylesheet, base page.URL) *sheetInfo {
+	return buildSheetInfoIn(sheet, base, nil)
+}
+
+// buildSheetInfoIn is buildSheetInfo with the references additionally
+// resolved to site intern IDs (in may be nil).
+func buildSheetInfoIn(sheet *cssx.Stylesheet, base page.URL, in *replay.Interns) *sheetInfo {
 	si := &sheetInfo{}
+	resolve := func(key string) int32 {
+		if in != nil {
+			if id, ok := in.Lookup(key); ok {
+				return id
+			}
+		}
+		return -1
+	}
 	for _, ff := range sheet.FontFaces {
 		if ff.URL == "" || ff.Family == "" {
 			continue
@@ -195,21 +245,30 @@ func buildSheetInfo(sheet *cssx.Stylesheet, base page.URL) *sheetInfo {
 		if err != nil {
 			continue
 		}
-		si.fonts = append(si.fonts, fontRef{family: ff.Family, u: u, key: u.String()})
+		key := u.String()
+		famID := int32(-1)
+		if in != nil {
+			if id, ok := in.FamilyID(ff.Family); ok {
+				famID = id
+			}
+		}
+		si.fonts = append(si.fonts, fontRef{family: ff.Family, famID: famID, u: u, key: key, id: resolve(key)})
 	}
 	for _, asset := range sheet.AssetURLs {
 		u, err := page.ParseURL(asset, base)
 		if err != nil {
 			continue
 		}
-		si.assets = append(si.assets, urlRef{u: u, key: u.String()})
+		key := u.String()
+		si.assets = append(si.assets, urlRef{u: u, key: key, id: resolve(key)})
 	}
 	for _, imp := range sheet.Imports {
 		u, err := page.ParseURL(imp, base)
 		if err != nil {
 			continue
 		}
-		si.imports = append(si.imports, urlRef{u: u, key: u.String()})
+		key := u.String()
+		si.imports = append(si.imports, urlRef{u: u, key: key, id: resolve(key)})
 	}
 	return si
 }

@@ -8,12 +8,12 @@ import (
 )
 
 // TestPageLoadAllocBudget is the allocation regression guard for the
-// zero-copy data plane (PR 3). Before the refactor a single page load of
-// this site cost ~17.9k allocations; the chunked send queues, pooled
-// events/segments and arena-backed frame headers brought it under 6k.
-// The budget leaves headroom for benign churn while still enforcing the
-// required >=2x reduction. (Not meaningful under -race, which inflates
-// allocation counts; CI runs it in the plain test pass.)
+// cold-start path: a throwaway context, but a warm prepared site. PR 3's
+// zero-copy data plane took a load from ~17.9k allocations to under 6k,
+// PR 4's prepared sites to ~3.2k, and PR 5's dense-ID tables plus pooled
+// h2 connections to under 2k. The budget leaves headroom for benign
+// churn while pinning the trajectory. (Not meaningful under -race, which
+// inflates allocation counts; CI runs it in the plain test pass.)
 func TestPageLoadAllocBudget(t *testing.T) {
 	site := corpus.Generate(corpus.RandomProfile(), 0, 1)
 	tb := NewTestbed()
@@ -23,20 +23,21 @@ func TestPageLoadAllocBudget(t *testing.T) {
 			t.Fatal("incomplete load")
 		}
 	})
-	const budget = 9000 // half of the pre-refactor ~17.9k
+	const budget = 2600 // measured ~1.9k after the dense-ID refactor
 	if avg > budget {
 		t.Errorf("page load allocates %.0f, budget %d", avg, budget)
 	}
 }
 
-// TestRunContextReuseAllocBudget is the regression guard for the PR 4
-// prepare-once/replay-many split: a run on a *warm* RunContext — site
-// prepared, simulator/network/loader state and pools grown — must stay
-// under a budget far below even the prepared-site cold path (~3.2k at
-// the time of writing, itself down from 5.7k). What remains is the
-// genuinely per-run state: fresh h2 endpoints and connections per dial
-// plus the loader's per-run callbacks. (Not meaningful under -race; CI
-// runs it in the plain test pass.)
+// TestRunContextReuseAllocBudget is the regression guard for the warm
+// replay path: a run on a *warm* RunContext — site prepared and
+// interned, simulator/network/loader state, pooled h2 connections and
+// resource tables all grown — must stay far below even the cold path.
+// PR 4 brought the warm run to ~2.4k allocations; PR 5's dense-ID
+// tables, pooled connections and pre-encoded header blocks to ~140.
+// What remains is genuinely per-run: netem connection state, pooled
+// event bookkeeping and a handful of per-run closures. (Not meaningful
+// under -race; CI runs it in the plain test pass.)
 func TestRunContextReuseAllocBudget(t *testing.T) {
 	site := corpus.Generate(corpus.RandomProfile(), 0, 1)
 	tb := NewTestbed()
@@ -50,7 +51,7 @@ func TestRunContextReuseAllocBudget(t *testing.T) {
 			t.Fatal("incomplete load")
 		}
 	})
-	const budget = 2600
+	const budget = 300 // measured ~140 after the dense-ID refactor
 	if avg > budget {
 		t.Errorf("warm-context page load allocates %.0f, budget %d", avg, budget)
 	}

@@ -50,6 +50,11 @@ type Client struct {
 	// may install OnResponse/OnData/OnComplete on the promised stream.
 	// A nil OnPush accepts all pushes.
 	OnPush func(parent *ClientStream, promised *ClientStream) (accept bool)
+
+	// issued/free recycle ClientStream wrappers across connections on a
+	// pooled client (see Reset).
+	issued []*ClientStream
+	free   []*ClientStream
 }
 
 // NewClient builds a client connection with the given local settings.
@@ -64,10 +69,14 @@ func NewClient(local Settings) *Client {
 		}
 		status := 0
 		var hdr []hpack.HeaderField
+		// The non-pseudo header list is materialized only for callers that
+		// installed OnResponse; the testbed's loader never does, so the
+		// hot path parses :status and allocates nothing.
+		collect := cs.OnResponse != nil
 		for _, f := range fields {
 			if f.Name == ":status" {
 				status, _ = strconv.Atoi(f.Value)
-			} else {
+			} else if collect {
 				hdr = append(hdr, f)
 			}
 		}
@@ -93,20 +102,52 @@ func NewClient(local Settings) *Client {
 			cs.finish()
 		}
 	}
-	c.Core.OnPushPromise = func(parent, promised *Stream, fields []hpack.HeaderField) {
+	c.Core.OnPushPromise = clientOnPushPromise(c)
+	return c
+}
+
+func clientOnPushPromise(c *Client) func(parent, promised *Stream, fields []hpack.HeaderField) {
+	return func(parent, promised *Stream, fields []hpack.HeaderField) {
 		pcs, _ := parent.User.(*ClientStream)
 		req, err := ParseRequest(fields)
 		if err != nil {
 			promised.Reset(ErrCodeProtocol)
 			return
 		}
-		cs := &ClientStream{Client: c, St: promised, Req: req, Pushed: true}
+		cs := c.newClientStream(promised, req)
+		cs.Pushed = true
 		promised.User = cs
 		if c.OnPush != nil && !c.OnPush(pcs, cs) {
 			cs.Cancel()
 		}
 	}
-	return c
+}
+
+// Reset re-arms a pooled client for a fresh connection: the core, its
+// codec state and every wrapper struct are recycled; the callbacks
+// installed by NewClient are kept, OnPush is cleared.
+func (c *Client) Reset(local Settings) {
+	c.Core.Reset(local)
+	c.OnPush = nil
+	for _, cs := range c.issued {
+		*cs = ClientStream{}
+		c.free = append(c.free, cs)
+	}
+	c.issued = c.issued[:0]
+}
+
+func (c *Client) newClientStream(st *Stream, req Request) *ClientStream {
+	var cs *ClientStream
+	if n := len(c.free); n > 0 {
+		cs = c.free[n-1]
+		c.free[n-1] = nil
+		c.free = c.free[:n-1]
+	} else {
+		cs = &ClientStream{}
+	}
+	*cs = ClientStream{Client: c, St: st, Req: req}
+	c.issued = append(c.issued, cs)
+	return cs
 }
 
 func (cs *ClientStream) finish() {
@@ -127,19 +168,25 @@ type RequestOpts struct {
 	OnResponse func(resp Response)
 	OnData     func(chunk []byte)
 	OnComplete func(totalBody int)
+
+	// Fields, when non-nil, is the prepare-time pre-built header list for
+	// req (must equal req.Fields()); Pre is the matching pre-encoded
+	// block, used when it lines up with the connection's encoder state.
+	Fields []hpack.HeaderField
+	Pre    *hpack.PreEncoded
 }
 
 // Request issues a GET-style request (no body).
 func (c *Client) Request(req Request, opts RequestOpts) *ClientStream {
-	st := c.Core.StartRequest(req.Fields(), opts.Priority)
-	cs := &ClientStream{
-		Client:     c,
-		St:         st,
-		Req:        req,
-		OnResponse: opts.OnResponse,
-		OnData:     opts.OnData,
-		OnComplete: opts.OnComplete,
+	fields := opts.Fields
+	if fields == nil {
+		fields = req.Fields()
 	}
+	st := c.Core.StartRequestPre(fields, opts.Pre, opts.Priority)
+	cs := c.newClientStream(st, req)
+	cs.OnResponse = opts.OnResponse
+	cs.OnData = opts.OnData
+	cs.OnComplete = opts.OnComplete
 	st.User = cs
 	return cs
 }

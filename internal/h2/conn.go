@@ -26,21 +26,23 @@ func DefaultSettings() Settings {
 	}
 }
 
-func (s Settings) frame() *SettingsFrame {
+// fillFrame populates f (reusing its Params storage) with s's announced
+// parameters.
+func (s Settings) fillFrame(f *SettingsFrame) {
 	push := uint32(0)
 	if s.EnablePush {
 		push = 1
 	}
-	f := &SettingsFrame{Params: []Setting{
-		{SettingHeaderTableSize, s.HeaderTableSize},
-		{SettingEnablePush, push},
-		{SettingInitialWindowSize, s.InitialWindowSize},
-		{SettingMaxFrameSize, s.MaxFrameSize},
-	}}
+	f.Ack = false
+	f.Params = append(f.Params[:0],
+		Setting{SettingHeaderTableSize, s.HeaderTableSize},
+		Setting{SettingEnablePush, push},
+		Setting{SettingInitialWindowSize, s.InitialWindowSize},
+		Setting{SettingMaxFrameSize, s.MaxFrameSize},
+	)
 	if s.MaxConcurrentStreams > 0 {
 		f.Params = append(f.Params, Setting{SettingMaxConcurrentStreams, s.MaxConcurrentStreams})
 	}
-	return f
 }
 
 // StreamState is the RFC 7540 Section 5.1 stream lifecycle state.
@@ -174,7 +176,17 @@ type Core struct {
 	hdec *hpack.Decoder
 	fr   FrameReader
 
-	streams      map[uint32]*Stream
+	// Stream tables, keyed by a per-connection dense stream index:
+	// stream IDs ascend by 2 per initiator, so (id-1)/2 (odd, client
+	// initiated) and id/2-1 (even, pushes) are dense slice indices.
+	// Slices replace the old map so the per-stream hot path (every DATA
+	// frame, every window update) is an index, not a hash lookup.
+	oddStreams  []*Stream
+	evenStreams []*Stream
+	numStreams  int
+	allStreams  []*Stream // every stream created this connection, for Reset recycling
+	freeStreams []*Stream
+
 	nextLocalID  uint32
 	lastPeerID   uint32
 	local, peer  Settings
@@ -190,9 +202,19 @@ type Core struct {
 	// h2o default).
 	PushAtRoot bool
 
-	ctrl       [][]byte // encoded control frames, FIFO
+	ctrl       [][]byte // encoded control frames, FIFO (ctrlHead = first live)
+	ctrlHead   int
+	ctrlArena  []byte   // append-only arena the ctrl frames are encoded into
 	hdrArena   []byte   // append-only arena for DATA frame headers
 	popScratch [][]byte // reused chunk list for the PopWrite compat path
+
+	// Scratch frame structs for the hot control-frame paths: queueCtrl
+	// serializes the frame into the arena before returning, so one
+	// reusable struct per type is enough.
+	hfScratch  HeadersFrame
+	ppScratch  PushPromiseFrame
+	wuScratch  WindowUpdateFrame
+	setScratch SettingsFrame
 	started    bool
 	goingAway  bool
 	prefaceGot int // client preface bytes consumed (server side)
@@ -233,7 +255,6 @@ func NewCore(isServer bool, local Settings) *Core {
 		IsServer: isServer,
 		henc:     hpack.NewEncoder(),
 		hdec:     hpack.NewDecoder(),
-		streams:  make(map[uint32]*Stream),
 		local:    local,
 		peer:     DefaultSettings(),
 		// Connection-level windows always start at 65535 (RFC 7540
@@ -251,6 +272,131 @@ func NewCore(isServer bool, local Settings) *Core {
 	return c
 }
 
+// Reset re-arms the core for a fresh connection with the given advertised
+// settings, recycling every buffer, stream struct and priority node the
+// previous connection grew: a pooled core runs its steady-state
+// connection without re-growing any of them. Callbacks installed on the
+// core are preserved (the pooled Client/Server wrappers own them); stats
+// are zeroed. The caller must guarantee the previous connection is fully
+// torn down — no transport still references the core.
+func (c *Core) Reset(local Settings) {
+	for _, st := range c.allStreams {
+		for i := range st.outChunks {
+			st.outChunks[i] = nil
+		}
+		*st = Stream{outChunks: st.outChunks[:0]}
+		c.freeStreams = append(c.freeStreams, st)
+	}
+	c.allStreams = c.allStreams[:0]
+	clearStreamSlice(c.oddStreams)
+	clearStreamSlice(c.evenStreams)
+	c.oddStreams, c.evenStreams = c.oddStreams[:0], c.evenStreams[:0]
+	c.numStreams = 0
+
+	c.henc.Reset()
+	c.hdec.Reset()
+	c.hdec.SetAllowedMaxDynamicTableSize(local.HeaderTableSize)
+	c.fr.Reset()
+	c.Tree.Reset()
+
+	c.local, c.peer = local, DefaultSettings()
+	c.settingsRecv = false
+	c.sendWindow, c.recvWindow = DefaultInitialWindow, DefaultInitialWindow
+	c.PushAtRoot = false
+	for i := c.ctrlHead; i < len(c.ctrl); i++ {
+		c.ctrl[i] = nil
+	}
+	c.ctrl, c.ctrlHead = c.ctrl[:0], 0
+	c.started, c.goingAway, c.prefaceGot = false, false, 0
+	c.cont = nil
+	if c.IsServer {
+		c.nextLocalID = 2
+	} else {
+		c.nextLocalID = 1
+	}
+	c.lastPeerID = 0
+	c.FramesSent, c.FramesRecvd, c.DataBytesSent = 0, 0, 0
+	c.PushesSent, c.PushesRecvd = 0, 0
+}
+
+func clearStreamSlice(s []*Stream) {
+	for i := range s {
+		s[i] = nil
+	}
+}
+
+// maxTrackedStreamID bounds the stream IDs admitted into the dense
+// stream/priority tables. The tables are indexed by id/2, so an
+// arbitrary peer-chosen ID (stream IDs may be sparse, and PRIORITY may
+// reference any idle ID) must not translate into an arbitrary slice
+// length; beyond this bound the connection is torn down instead. The
+// old map-based tables were bounded by live-stream count; this keeps
+// the slice tables bounded by ID range (<= ~4 MB of nil slots).
+const maxTrackedStreamID = 1 << 20
+
+// getStream returns the stream with id, nil when unknown (or id 0).
+func (c *Core) getStream(id uint32) *Stream {
+	if id == 0 {
+		return nil
+	}
+	if id%2 == 1 {
+		if i := int(id-1) / 2; i < len(c.oddStreams) {
+			return c.oddStreams[i]
+		}
+		return nil
+	}
+	if i := int(id)/2 - 1; i < len(c.evenStreams) {
+		return c.evenStreams[i]
+	}
+	return nil
+}
+
+// setStream installs st in its dense table slot, growing the table to
+// cover the index.
+func (c *Core) setStream(st *Stream) {
+	tab := &c.evenStreams
+	i := int(st.ID)/2 - 1
+	if st.ID%2 == 1 {
+		tab = &c.oddStreams
+		i = int(st.ID-1) / 2
+	}
+	for len(*tab) <= i {
+		*tab = append(*tab, nil)
+	}
+	if (*tab)[i] == nil {
+		c.numStreams++
+	}
+	(*tab)[i] = st
+}
+
+// delStream clears st's table slot.
+func (c *Core) delStream(id uint32) {
+	tab := c.evenStreams
+	i := int(id)/2 - 1
+	if id%2 == 1 {
+		tab = c.oddStreams
+		i = int(id-1) / 2
+	}
+	if i < len(tab) && tab[i] != nil {
+		tab[i] = nil
+		c.numStreams--
+	}
+}
+
+// forEachStream invokes fn for every live stream.
+func (c *Core) forEachStream(fn func(*Stream)) {
+	for _, st := range c.oddStreams {
+		if st != nil {
+			fn(st)
+		}
+	}
+	for _, st := range c.evenStreams {
+		if st != nil {
+			fn(st)
+		}
+	}
+}
+
 // Start queues the connection preface (clients) and initial SETTINGS.
 func (c *Core) Start() {
 	if c.started {
@@ -258,15 +404,16 @@ func (c *Core) Start() {
 	}
 	c.started = true
 	if !c.IsServer {
-		c.ctrl = append(c.ctrl, []byte(ClientPreface))
+		c.pushCtrl(prefaceChunk)
 	}
-	c.queueCtrl(c.local.frame())
+	c.local.fillFrame(&c.setScratch)
+	c.queueCtrl(&c.setScratch)
 	// Enlarge the connection receive window beyond the 64 KB default, as
 	// browsers do, so connection flow control never throttles the testbed
 	// unless configured to.
 	if extra := int64(c.local.InitialWindowSize) * 4; extra > 0 {
 		c.recvWindow += extra
-		c.queueCtrl(&WindowUpdateFrame{StreamID: 0, Increment: uint32(extra)})
+		c.queueWindowUpdate(0, uint32(extra))
 	}
 	c.wake()
 }
@@ -278,10 +425,10 @@ func (c *Core) PeerSettings() Settings { return c.peer }
 func (c *Core) LocalSettings() Settings { return c.local }
 
 // Stream returns the stream with the given id, or nil.
-func (c *Core) Stream(id uint32) *Stream { return c.streams[id] }
+func (c *Core) Stream(id uint32) *Stream { return c.getStream(id) }
 
 // NumStreams returns the number of non-closed streams.
-func (c *Core) NumStreams() int { return len(c.streams) }
+func (c *Core) NumStreams() int { return c.numStreams }
 
 func (c *Core) wake() {
 	if c.OnWritable != nil {
@@ -289,9 +436,50 @@ func (c *Core) wake() {
 	}
 }
 
+// settingsAckFrame is the shared SETTINGS ack; queueCtrl only reads it.
+var settingsAckFrame = &SettingsFrame{Ack: true}
+
+// clientPrefaceBytes is the shared, immutable preface chunk; transports
+// treat queued slices as read-only, so one copy serves every connection.
+var prefaceChunk = []byte(ClientPreface)
+
+// queueCtrl encodes a control frame into the connection's append-only
+// control arena and queues the resulting subslice. Arena blocks are never
+// rewound, so queued frames stay valid while the transport references
+// them; when an append outgrows the current block the slice reallocates
+// and the old block is left to the GC once its frames are consumed.
 func (c *Core) queueCtrl(f Frame) {
-	c.ctrl = append(c.ctrl, AppendFrame(nil, f))
+	const ctrlBlock = 4096
+	if cap(c.ctrlArena)-len(c.ctrlArena) < 256 {
+		c.ctrlArena = make([]byte, 0, ctrlBlock)
+	}
+	start := len(c.ctrlArena)
+	c.ctrlArena = AppendFrame(c.ctrlArena, f)
+	c.pushCtrl(c.ctrlArena[start:len(c.ctrlArena):len(c.ctrlArena)])
 	c.wake()
+}
+
+func (c *Core) pushCtrl(b []byte) {
+	c.ctrl = append(c.ctrl, b)
+}
+
+func (c *Core) popCtrl() []byte {
+	b := c.ctrl[c.ctrlHead]
+	c.ctrl[c.ctrlHead] = nil
+	c.ctrlHead++
+	if c.ctrlHead == len(c.ctrl) {
+		c.ctrl, c.ctrlHead = c.ctrl[:0], 0
+	}
+	return b
+}
+
+func (c *Core) ctrlPending() bool { return c.ctrlHead < len(c.ctrl) }
+
+// queueWindowUpdate queues a WINDOW_UPDATE through the scratch struct
+// (the flow-control hot path).
+func (c *Core) queueWindowUpdate(streamID, inc uint32) {
+	c.wuScratch = WindowUpdateFrame{StreamID: streamID, Increment: inc}
+	c.queueCtrl(&c.wuScratch)
 }
 
 func (c *Core) connError(code ErrCode, msg string) {
@@ -307,15 +495,26 @@ func (c *Core) connError(code ErrCode, msg string) {
 }
 
 func (c *Core) newStream(id uint32, state StreamState) *Stream {
-	st := &Stream{
+	var st *Stream
+	if n := len(c.freeStreams); n > 0 {
+		st = c.freeStreams[n-1]
+		c.freeStreams[n-1] = nil
+		c.freeStreams = c.freeStreams[:n-1]
+	} else {
+		st = &Stream{}
+	}
+	outChunks := st.outChunks[:0]
+	*st = Stream{
 		ID:         id,
 		core:       c,
 		State:      state,
 		sendWindow: int64(c.peer.InitialWindowSize),
 		recvWindow: int64(c.local.InitialWindowSize),
 		pauseAt:    -1,
+		outChunks:  outChunks,
 	}
-	c.streams[id] = st
+	c.allStreams = append(c.allStreams, st)
+	c.setStream(st)
 	c.Tree.Bind(st)
 	return st
 }
@@ -325,24 +524,53 @@ func (c *Core) closeStream(st *Stream) {
 		return
 	}
 	st.State = StateClosed
-	st.outChunks, st.outHead, st.outOff, st.outLen = nil, 0, 0, 0
-	delete(c.streams, st.ID)
+	for i := range st.outChunks {
+		st.outChunks[i] = nil
+	}
+	st.outChunks, st.outHead, st.outOff, st.outLen = st.outChunks[:0], 0, 0, 0
+	c.delStream(st.ID)
 	c.Tree.Remove(st.ID)
 }
 
 // --- client-side API ---
 
+// encodeOrPre emits a header block: the pre-encoded bytes when pe is
+// applicable at this point of the connection (a memcpy plus the replayed
+// table insertions), the live encoder otherwise. Either way the wire
+// bytes are identical; pre-encoding only moves the work to prepare time.
+func (c *Core) encodeOrPre(fields []hpack.HeaderField, pe *hpack.PreEncoded, seqPos int) []byte {
+	if pe != nil && c.henc.CanUsePreEncoded(*pe, seqPos) {
+		c.henc.ApplyPreEncoded(*pe)
+		return pe.Block
+	}
+	return c.henc.EncodeBlock(fields)
+}
+
+// HeaderBlocksSent returns the number of header blocks this connection's
+// encoder has emitted; pre-encoded sequences use it as their position
+// check (see hpack.PreEncoded).
+func (c *Core) HeaderBlocksSent() int { return c.henc.BlockCount() }
+
 // StartRequest opens a new client stream carrying a request without a
 // body. prio, when non-nil, is sent as the HEADERS priority block.
 func (c *Core) StartRequest(fields []hpack.HeaderField, prio *PriorityParam) *Stream {
+	return c.StartRequestPre(fields, nil, prio)
+}
+
+// StartRequestPre is StartRequest with an optional prepare-time
+// pre-encoded header block, used when it matches the connection's
+// encoder state (request blocks are pre-encoded as a connection's first
+// block) and ignored otherwise.
+func (c *Core) StartRequestPre(fields []hpack.HeaderField, pe *hpack.PreEncoded, prio *PriorityParam) *Stream {
 	if c.IsServer {
 		panic("h2: StartRequest on server core")
 	}
 	id := c.nextLocalID
 	c.nextLocalID += 2
 	st := c.newStream(id, StateHalfClosedLocal) // GET: we send END_STREAM
-	block := c.henc.EncodeBlock(fields)
-	hf := &HeadersFrame{
+	block := c.encodeOrPre(fields, pe, 0)
+	hf := &c.hfScratch
+	*hf = HeadersFrame{
 		StreamID:   id,
 		EndStream:  true,
 		EndHeaders: true,
@@ -399,8 +627,16 @@ func (c *Core) SendPriority(id uint32, p PriorityParam) {
 
 // SendResponseHeaders queues the response HEADERS for st.
 func (c *Core) SendResponseHeaders(st *Stream, fields []hpack.HeaderField, endStream bool) {
-	block := c.henc.EncodeBlock(fields)
-	hf := &HeadersFrame{StreamID: st.ID, EndStream: endStream}
+	c.SendResponseHeadersPre(st, fields, nil, 0, endStream)
+}
+
+// SendResponseHeadersPre is SendResponseHeaders with an optional
+// pre-encoded block valid at sequence position seqPos (ignored when the
+// encoder is elsewhere).
+func (c *Core) SendResponseHeadersPre(st *Stream, fields []hpack.HeaderField, pe *hpack.PreEncoded, seqPos int, endStream bool) {
+	block := c.encodeOrPre(fields, pe, seqPos)
+	hf := &c.hfScratch
+	*hf = HeadersFrame{StreamID: st.ID, EndStream: endStream}
 	c.queueHeaderBlock(hf, block)
 	st.headersSent = true
 	if endStream {
@@ -416,6 +652,12 @@ func (c *Core) SendResponseHeaders(st *Stream, fields []hpack.HeaderField, endSt
 // Push reserves a promised stream answering reqFields, announced on
 // parent. It returns nil when the peer disabled push.
 func (c *Core) Push(parent *Stream, reqFields []hpack.HeaderField) *Stream {
+	return c.PushPre(parent, reqFields, nil, 0)
+}
+
+// PushPre is Push with an optional pre-encoded PUSH_PROMISE block valid
+// at sequence position seqPos (ignored when the encoder is elsewhere).
+func (c *Core) PushPre(parent *Stream, reqFields []hpack.HeaderField, pe *hpack.PreEncoded, seqPos int) *Stream {
 	if !c.IsServer {
 		panic("h2: Push on client core")
 	}
@@ -438,13 +680,14 @@ func (c *Core) Push(parent *Stream, reqFields []hpack.HeaderField) *Stream {
 		weight = 219
 	}
 	c.Tree.Update(id, PriorityParam{ParentID: parentID, Weight: weight})
-	block := c.henc.EncodeBlock(reqFields)
-	c.queueCtrl(&PushPromiseFrame{
+	block := c.encodeOrPre(reqFields, pe, seqPos)
+	c.ppScratch = PushPromiseFrame{
 		StreamID:   parent.ID,
 		PromisedID: id,
 		Block:      block,
 		EndHeaders: true,
-	})
+	}
+	c.queueCtrl(&c.ppScratch)
 	c.PushesSent++
 	return st
 }
@@ -529,9 +772,13 @@ func (c *Core) handleFrame(f Frame) {
 			c.streamError(f.StreamID, ErrCodeProtocol)
 			return
 		}
+		if f.StreamID > maxTrackedStreamID || f.Priority.ParentID > maxTrackedStreamID {
+			c.connError(ErrCodeEnhanceYourCalm, "stream id exceeds tracked range")
+			return
+		}
 		c.Tree.Update(f.StreamID, f.Priority)
 	case *RSTStreamFrame:
-		if st := c.streams[f.StreamID]; st != nil {
+		if st := c.getStream(f.StreamID); st != nil {
 			if c.OnRST != nil {
 				c.OnRST(st, f.Code)
 			}
@@ -577,9 +824,7 @@ func (c *Core) handleSettings(f *SettingsFrame) {
 			c.peer.InitialWindowSize = s.Val
 			// Adjust all stream send windows by the delta (RFC 6.9.2).
 			delta := int64(s.Val) - int64(old.InitialWindowSize)
-			for _, st := range c.streams {
-				st.sendWindow += delta
-			}
+			c.forEachStream(func(st *Stream) { st.sendWindow += delta })
 		case SettingMaxFrameSize:
 			if s.Val < DefaultMaxFrameSize || s.Val > 1<<24-1 {
 				c.connError(ErrCodeProtocol, "bad MAX_FRAME_SIZE")
@@ -589,7 +834,7 @@ func (c *Core) handleSettings(f *SettingsFrame) {
 		}
 	}
 	c.settingsRecv = true
-	c.queueCtrl(&SettingsFrame{Ack: true})
+	c.queueCtrl(settingsAckFrame)
 	if c.OnSettings != nil {
 		c.OnSettings(c.peer)
 	}
@@ -647,12 +892,16 @@ func (c *Core) finishHeaders(streamID uint32, block []byte, endStream bool, prio
 		c.connError(ErrCodeCompression, err.Error())
 		return
 	}
-	st := c.streams[streamID]
+	st := c.getStream(streamID)
 	if st == nil {
 		if c.IsServer {
 			// New request stream.
 			if streamID%2 == 0 || streamID <= c.lastPeerID {
 				c.connError(ErrCodeProtocol, fmt.Sprintf("bad client stream id %d", streamID))
+				return
+			}
+			if streamID > maxTrackedStreamID {
+				c.connError(ErrCodeEnhanceYourCalm, "stream id exceeds tracked range")
 				return
 			}
 			c.lastPeerID = streamID
@@ -674,6 +923,10 @@ func (c *Core) finishHeaders(streamID uint32, block []byte, endStream bool, prio
 		}
 	}
 	if prio != nil {
+		if prio.ParentID > maxTrackedStreamID {
+			c.connError(ErrCodeEnhanceYourCalm, "stream id exceeds tracked range")
+			return
+		}
 		c.Tree.Update(streamID, *prio)
 	}
 	if c.OnHeaders != nil {
@@ -710,7 +963,7 @@ func (c *Core) finishPushPromise(parentID, promisedID uint32, block []byte) {
 		c.connError(ErrCodeCompression, err.Error())
 		return
 	}
-	parent := c.streams[parentID]
+	parent := c.getStream(parentID)
 	if parent == nil {
 		// Promise on a closed stream: reset the promised stream.
 		c.queueCtrl(&RSTStreamFrame{StreamID: promisedID, Code: ErrCodeRefusedStream})
@@ -718,6 +971,10 @@ func (c *Core) finishPushPromise(parentID, promisedID uint32, block []byte) {
 	}
 	if promisedID%2 != 0 {
 		c.connError(ErrCodeProtocol, "odd promised stream id")
+		return
+	}
+	if promisedID > maxTrackedStreamID {
+		c.connError(ErrCodeEnhanceYourCalm, "stream id exceeds tracked range")
 		return
 	}
 	st := c.newStream(promisedID, StateReservedRemote)
@@ -730,7 +987,7 @@ func (c *Core) finishPushPromise(parentID, promisedID uint32, block []byte) {
 }
 
 func (c *Core) handleData(f *DataFrame) {
-	st := c.streams[f.StreamID]
+	st := c.getStream(f.StreamID)
 	n := int64(len(f.Data))
 	// Connection-level accounting happens regardless of stream state.
 	c.recvWindow -= n
@@ -742,7 +999,7 @@ func (c *Core) handleData(f *DataFrame) {
 	if c.recvWindow < int64(c.local.InitialWindowSize)*2 {
 		inc := int64(c.local.InitialWindowSize) * 4
 		c.recvWindow += inc
-		c.queueCtrl(&WindowUpdateFrame{StreamID: 0, Increment: uint32(inc)})
+		c.queueWindowUpdate(0, uint32(inc))
 	}
 	if st == nil {
 		// Data for a reset/unknown stream: discard (count against conn
@@ -757,7 +1014,7 @@ func (c *Core) handleData(f *DataFrame) {
 	if st.recvWindow < int64(c.local.InitialWindowSize)/2 {
 		inc := int64(c.local.InitialWindowSize)
 		st.recvWindow += inc
-		c.queueCtrl(&WindowUpdateFrame{StreamID: st.ID, Increment: uint32(inc)})
+		c.queueWindowUpdate(st.ID, uint32(inc))
 	}
 	st.recvdBody += int(n)
 	if f.EndStream {
@@ -784,7 +1041,7 @@ func (c *Core) handleWindowUpdate(f *WindowUpdateFrame) {
 			c.connError(ErrCodeFlowControl, "connection window overflow")
 			return
 		}
-	} else if st := c.streams[f.StreamID]; st != nil {
+	} else if st := c.getStream(f.StreamID); st != nil {
 		st.sendWindow += int64(f.Increment)
 		if st.sendWindow > maxWindow {
 			c.streamError(st.ID, ErrCodeFlowControl)
@@ -796,7 +1053,7 @@ func (c *Core) handleWindowUpdate(f *WindowUpdateFrame) {
 
 func (c *Core) streamError(id uint32, code ErrCode) {
 	c.queueCtrl(&RSTStreamFrame{StreamID: id, Code: code})
-	if st := c.streams[id]; st != nil {
+	if st := c.getStream(id); st != nil {
 		c.closeStream(st)
 	}
 }
@@ -831,7 +1088,7 @@ func (st *Stream) outDone() bool {
 
 // HasPending reports whether PopWrite would produce bytes.
 func (c *Core) HasPending() bool {
-	if len(c.ctrl) > 0 {
+	if c.ctrlPending() {
 		return true
 	}
 	return c.Tree.Next(c.sendable) != nil
@@ -863,9 +1120,8 @@ func (c *Core) arenaHeader(length int, t FrameType, flags Flags, streamID uint32
 // The returned slices are owned by the connection until the transport has
 // consumed them; the chunks container itself may be reused by the caller.
 func (c *Core) AppendWrite(chunks [][]byte, max int) [][]byte {
-	if len(c.ctrl) > 0 {
-		out := c.ctrl[0]
-		c.ctrl = c.ctrl[1:]
+	if c.ctrlPending() {
+		out := c.popCtrl()
 		c.FramesSent++
 		return append(chunks, out)
 	}
@@ -975,12 +1231,12 @@ func (c *Core) finishOut(st *Stream) {
 		c.OnStreamSent(st)
 	}
 	// Clear resume gates referencing this stream.
-	for _, other := range c.streams {
+	c.forEachStream(func(other *Stream) {
 		if other.resumeOn != nil && other.resumeOn[st.ID] {
 			delete(other.resumeOn, st.ID)
 			if len(other.resumeOn) == 0 {
 				other.Resume()
 			}
 		}
-	}
+	})
 }

@@ -23,17 +23,34 @@ type SimEndpoint struct {
 	// writes the frames it pops before the outer frame is handed to the
 	// transport — so each nesting depth borrows its own container.
 	pool [][][]byte
+
+	// Cached method-value closures, built once per endpoint so pooled
+	// endpoints re-attach to a fresh transport without allocating.
+	recvFn func([]byte)
+	pumpFn func()
 }
 
 // AttachSim wires core to a netem endpoint and starts the connection.
 func AttachSim(core *Core, end *netem.End) *SimEndpoint {
-	ep := &SimEndpoint{Core: core, End: end}
-	end.SetReceiver(core.Recv)
-	core.OnWritable = ep.pump
-	end.SetOnDrain(ep.pump)
+	ep := &SimEndpoint{}
+	ep.Attach(core, end)
+	return ep
+}
+
+// Attach (re-)wires a pooled endpoint to core over a fresh transport end
+// and starts the connection. The core must be Reset (or new) and the
+// previous transport fully torn down.
+func (ep *SimEndpoint) Attach(core *Core, end *netem.End) {
+	if ep.Core != core || ep.recvFn == nil {
+		ep.recvFn = core.Recv
+		ep.pumpFn = ep.pump
+	}
+	ep.Core, ep.End = core, end
+	end.SetReceiver(ep.recvFn)
+	core.OnWritable = ep.pumpFn
+	end.SetOnDrain(ep.pumpFn)
 	core.Start()
 	ep.pump()
-	return ep
 }
 
 func (ep *SimEndpoint) pump() {

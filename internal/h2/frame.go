@@ -17,6 +17,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"strconv"
 )
 
 // FrameType identifies an RFC 7540 frame type.
@@ -36,7 +37,7 @@ const (
 	FrameContinuation FrameType = 0x9
 )
 
-var frameNames = map[FrameType]string{
+var frameNames = [...]string{
 	FrameData: "DATA", FrameHeaders: "HEADERS", FramePriority: "PRIORITY",
 	FrameRSTStream: "RST_STREAM", FrameSettings: "SETTINGS",
 	FramePushPromise: "PUSH_PROMISE", FramePing: "PING", FrameGoAway: "GOAWAY",
@@ -44,10 +45,10 @@ var frameNames = map[FrameType]string{
 }
 
 func (t FrameType) String() string {
-	if s, ok := frameNames[t]; ok {
-		return s
+	if int(t) < len(frameNames) {
+		return frameNames[t]
 	}
-	return fmt.Sprintf("UNKNOWN(%#x)", uint8(t))
+	return "UNKNOWN(0x" + strconv.FormatUint(uint64(t), 16) + ")"
 }
 
 // Flags is the 8-bit frame flags field.
@@ -398,8 +399,32 @@ type FrameReader struct {
 	buffered int
 
 	hdr     [frameHeaderLen]byte
-	scratch []byte    // reassembly buffer for payloads spanning chunks
-	data    DataFrame // reused for DATA, the hot frame type
+	scratch []byte // reassembly buffer for payloads spanning chunks
+
+	// Reused frame structs, one per type: the returned-frame validity
+	// contract above (valid until the next Next/Feed) means no caller may
+	// retain one, so each parse fills the previous instance in place
+	// instead of allocating.
+	data     DataFrame
+	headers  HeadersFrame
+	prio     PriorityFrame
+	rst      RSTStreamFrame
+	settings SettingsFrame
+	pp       PushPromiseFrame
+	ping     PingFrame
+	goaway   GoAwayFrame
+	wu       WindowUpdateFrame
+	contf    ContinuationFrame
+}
+
+// Reset discards all buffered bytes and re-arms the reader for a new
+// connection, keeping its chunk list, scratch buffer and frame structs.
+func (r *FrameReader) Reset() {
+	for i := range r.chunks {
+		r.chunks[i] = nil
+	}
+	r.chunks = r.chunks[:0]
+	r.head, r.off, r.buffered = 0, 0, 0
 }
 
 // Feed hands transport bytes to the reader. The slice is retained (not
@@ -516,7 +541,7 @@ func (r *FrameReader) Next() (Frame, error) {
 			r.data = DataFrame{StreamID: streamID, Data: p, EndStream: flags.Has(FlagEndStream)}
 			return &r.data, nil
 		}
-		f, err := parseFrame(typ, flags, streamID, payload)
+		f, err := r.parseInto(typ, flags, streamID, payload)
 		if err != nil {
 			return nil, err
 		}
@@ -541,20 +566,32 @@ func checkDataPayload(streamID uint32, flags Flags, p []byte) ([]byte, error) {
 	return p, nil
 }
 
+// parseFrame decodes one frame into freshly allocated structs. It is the
+// allocating compatibility wrapper around FrameReader.parseInto, kept for
+// callers outside the reader's reuse contract.
 func parseFrame(typ FrameType, flags Flags, streamID uint32, p []byte) (Frame, error) {
+	var r FrameReader
+	return r.parseInto(typ, flags, streamID, p)
+}
+
+// parseInto decodes one frame into the reader's reused frame structs;
+// the result is valid until the reader parses its next frame.
+func (r *FrameReader) parseInto(typ FrameType, flags Flags, streamID uint32, p []byte) (Frame, error) {
 	switch typ {
 	case FrameData:
 		p, err := checkDataPayload(streamID, flags, p)
 		if err != nil {
 			return nil, err
 		}
-		return &DataFrame{StreamID: streamID, Data: p, EndStream: flags.Has(FlagEndStream)}, nil
+		r.data = DataFrame{StreamID: streamID, Data: p, EndStream: flags.Has(FlagEndStream)}
+		return &r.data, nil
 
 	case FrameHeaders:
 		if streamID == 0 {
 			return nil, ConnError{ErrCodeProtocol, "HEADERS on stream 0"}
 		}
-		f := &HeadersFrame{
+		f := &r.headers
+		*f = HeadersFrame{
 			StreamID:   streamID,
 			EndStream:  flags.Has(FlagEndStream),
 			EndHeaders: flags.Has(FlagEndHeaders),
@@ -583,7 +620,8 @@ func parseFrame(typ FrameType, flags Flags, streamID uint32, p []byte) (Frame, e
 		if streamID == 0 {
 			return nil, ConnError{ErrCodeProtocol, "PRIORITY on stream 0"}
 		}
-		return &PriorityFrame{StreamID: streamID, Priority: parsePriorityParam(p)}, nil
+		r.prio = PriorityFrame{StreamID: streamID, Priority: parsePriorityParam(p)}
+		return &r.prio, nil
 
 	case FrameRSTStream:
 		if len(p) != 4 {
@@ -592,13 +630,16 @@ func parseFrame(typ FrameType, flags Flags, streamID uint32, p []byte) (Frame, e
 		if streamID == 0 {
 			return nil, ConnError{ErrCodeProtocol, "RST_STREAM on stream 0"}
 		}
-		return &RSTStreamFrame{StreamID: streamID, Code: ErrCode(binary.BigEndian.Uint32(p))}, nil
+		r.rst = RSTStreamFrame{StreamID: streamID, Code: ErrCode(binary.BigEndian.Uint32(p))}
+		return &r.rst, nil
 
 	case FrameSettings:
 		if streamID != 0 {
 			return nil, ConnError{ErrCodeProtocol, "SETTINGS on nonzero stream"}
 		}
-		f := &SettingsFrame{Ack: flags.Has(FlagAck)}
+		f := &r.settings
+		f.Ack = flags.Has(FlagAck)
+		f.Params = f.Params[:0]
 		if f.Ack {
 			if len(p) != 0 {
 				return nil, ConnError{ErrCodeFrameSize, "SETTINGS ack with payload"}
@@ -630,12 +671,13 @@ func parseFrame(typ FrameType, flags Flags, streamID uint32, p []byte) (Frame, e
 		if len(p) < 4 {
 			return nil, ConnError{ErrCodeFrameSize, "short PUSH_PROMISE"}
 		}
-		return &PushPromiseFrame{
+		r.pp = PushPromiseFrame{
 			StreamID:   streamID,
 			PromisedID: binary.BigEndian.Uint32(p[:4]) & 0x7fffffff,
 			Block:      p[4:],
 			EndHeaders: flags.Has(FlagEndHeaders),
-		}, nil
+		}
+		return &r.pp, nil
 
 	case FramePing:
 		if len(p) != 8 {
@@ -644,7 +686,8 @@ func parseFrame(typ FrameType, flags Flags, streamID uint32, p []byte) (Frame, e
 		if streamID != 0 {
 			return nil, ConnError{ErrCodeProtocol, "PING on nonzero stream"}
 		}
-		f := &PingFrame{Ack: flags.Has(FlagAck)}
+		f := &r.ping
+		f.Ack = flags.Has(FlagAck)
 		copy(f.Data[:], p)
 		return f, nil
 
@@ -655,11 +698,12 @@ func parseFrame(typ FrameType, flags Flags, streamID uint32, p []byte) (Frame, e
 		if streamID != 0 {
 			return nil, ConnError{ErrCodeProtocol, "GOAWAY on nonzero stream"}
 		}
-		return &GoAwayFrame{
+		r.goaway = GoAwayFrame{
 			LastStreamID: binary.BigEndian.Uint32(p[:4]) & 0x7fffffff,
 			Code:         ErrCode(binary.BigEndian.Uint32(p[4:8])),
 			Debug:        p[8:],
-		}, nil
+		}
+		return &r.goaway, nil
 
 	case FrameWindowUpdate:
 		if len(p) != 4 {
@@ -669,13 +713,15 @@ func parseFrame(typ FrameType, flags Flags, streamID uint32, p []byte) (Frame, e
 		if inc == 0 {
 			return nil, ConnError{ErrCodeProtocol, "WINDOW_UPDATE increment 0"}
 		}
-		return &WindowUpdateFrame{StreamID: streamID, Increment: inc}, nil
+		r.wu = WindowUpdateFrame{StreamID: streamID, Increment: inc}
+		return &r.wu, nil
 
 	case FrameContinuation:
 		if streamID == 0 {
 			return nil, ConnError{ErrCodeProtocol, "CONTINUATION on stream 0"}
 		}
-		return &ContinuationFrame{StreamID: streamID, Block: p, EndHeaders: flags.Has(FlagEndHeaders)}, nil
+		r.contf = ContinuationFrame{StreamID: streamID, Block: p, EndHeaders: flags.Has(FlagEndHeaders)}
+		return &r.contf, nil
 
 	default:
 		// Unknown frame types must be ignored (RFC 7540 Section 4.1).

@@ -11,9 +11,16 @@ package h2
 // served-bytes/weight virtual-time rule. This is exactly why, by default,
 // a pushed stream (a child of the stream that triggered the push) is
 // starved until its parent response has finished — Fig. 5(a) of the paper.
+// The node table is keyed by the same per-connection dense stream index
+// as Core's stream tables ((id-1)/2 for odd IDs, id/2-1 for even), so
+// the per-frame node lookup is a slice index instead of a map probe, and
+// removed nodes are recycled through a free list.
 type PriorityTree struct {
-	nodes map[uint32]*prioNode
-	root  *prioNode
+	oddNodes  []*prioNode
+	evenNodes []*prioNode
+	count     int
+	free      []*prioNode
+	root      *prioNode
 }
 
 type prioNode struct {
@@ -30,22 +37,84 @@ const DefaultWeight = 15
 
 // NewPriorityTree returns a tree containing only the root (stream 0).
 func NewPriorityTree() *PriorityTree {
-	root := &prioNode{id: 0, weight: DefaultWeight}
-	return &PriorityTree{
-		nodes: map[uint32]*prioNode{0: root},
-		root:  root,
+	return &PriorityTree{root: &prioNode{id: 0, weight: DefaultWeight}}
+}
+
+// Reset empties the tree back to its post-NewPriorityTree state, keeping
+// the node storage and free list for the next connection on a pooled
+// core.
+func (t *PriorityTree) Reset() {
+	clearNodes := func(tab []*prioNode) {
+		for i, n := range tab {
+			if n != nil {
+				t.recycle(n)
+				tab[i] = nil
+			}
+		}
 	}
+	clearNodes(t.oddNodes)
+	clearNodes(t.evenNodes)
+	t.oddNodes, t.evenNodes = t.oddNodes[:0], t.evenNodes[:0]
+	t.count = 0
+	t.root.children = t.root.children[:0]
+	t.root.served = 0
+}
+
+func (t *PriorityTree) recycle(n *prioNode) {
+	n.parent, n.st = nil, nil
+	n.children = n.children[:0]
+	n.served = 0
+	t.free = append(t.free, n)
+}
+
+// lookup returns the node for id without creating it; nil when unknown.
+func (t *PriorityTree) lookup(id uint32) *prioNode {
+	if id == 0 {
+		return t.root
+	}
+	if id%2 == 1 {
+		if i := int(id-1) / 2; i < len(t.oddNodes) {
+			return t.oddNodes[i]
+		}
+		return nil
+	}
+	if i := int(id)/2 - 1; i < len(t.evenNodes) {
+		return t.evenNodes[i]
+	}
+	return nil
+}
+
+func (t *PriorityTree) store(id uint32, n *prioNode) {
+	tab := &t.evenNodes
+	i := int(id)/2 - 1
+	if id%2 == 1 {
+		tab = &t.oddNodes
+		i = int(id-1) / 2
+	}
+	for len(*tab) <= i {
+		*tab = append(*tab, nil)
+	}
+	(*tab)[i] = n
 }
 
 func (t *PriorityTree) node(id uint32) *prioNode {
-	if n, ok := t.nodes[id]; ok {
+	if n := t.lookup(id); n != nil {
 		return n
 	}
 	// Priority frames may reference streams we have not seen yet (idle
 	// placeholders); create them under the root, per RFC 7540 5.3.4.
-	n := &prioNode{id: id, weight: DefaultWeight, parent: t.root}
+	var n *prioNode
+	if k := len(t.free); k > 0 {
+		n = t.free[k-1]
+		t.free[k-1] = nil
+		t.free = t.free[:k-1]
+	} else {
+		n = &prioNode{}
+	}
+	n.id, n.weight, n.parent = id, DefaultWeight, t.root
 	t.root.children = append(t.root.children, n)
-	t.nodes[id] = n
+	t.store(id, n)
+	t.count++
 	return n
 }
 
@@ -115,10 +184,11 @@ func (t *PriorityTree) attach(n, parent *prioNode) {
 }
 
 // Remove closes a stream's node; its children are reparented to the
-// grandparent (RFC 7540 5.3.4, weight redistribution simplified).
+// grandparent (RFC 7540 5.3.4, weight redistribution simplified). The
+// node struct is recycled for the connection's next stream.
 func (t *PriorityTree) Remove(id uint32) {
-	n, ok := t.nodes[id]
-	if !ok || n == t.root {
+	n := t.lookup(id)
+	if n == nil || n == t.root {
 		return
 	}
 	parent := n.parent
@@ -127,9 +197,9 @@ func (t *PriorityTree) Remove(id uint32) {
 		c.parent = parent
 		parent.children = append(parent.children, c)
 	}
-	n.children = nil
-	n.st = nil
-	delete(t.nodes, id)
+	t.store(id, nil)
+	t.count--
+	t.recycle(n)
 }
 
 // Next walks the tree and returns the stream to serve next: the shallowest
@@ -175,8 +245,8 @@ func (t *PriorityTree) subtreeSendable(n *prioNode, sendable func(*Stream) bool)
 // Charge accounts n bytes served on the stream, at every ancestor level,
 // so sibling fairness holds throughout the tree.
 func (t *PriorityTree) Charge(id uint32, n int) {
-	nd, ok := t.nodes[id]
-	if !ok {
+	nd := t.lookup(id)
+	if nd == nil {
 		return
 	}
 	for ; nd != nil && nd != t.root; nd = nd.parent {
@@ -185,4 +255,4 @@ func (t *PriorityTree) Charge(id uint32, n int) {
 }
 
 // Len reports the number of known streams (excluding the root).
-func (t *PriorityTree) Len() int { return len(t.nodes) - 1 }
+func (t *PriorityTree) Len() int { return t.count }

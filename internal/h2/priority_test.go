@@ -149,10 +149,10 @@ func TestChargePropagatesToAncestors(t *testing.T) {
 	tr.Update(3, PriorityParam{ParentID: 1, Weight: 15})
 	tr.Update(5, PriorityParam{ParentID: 1, Weight: 15})
 	tr.Charge(3, 500)
-	if tr.nodes[3].served != 500 || tr.nodes[1].served != 500 {
-		t.Fatalf("served: node3=%d node1=%d, want 500/500", tr.nodes[3].served, tr.nodes[1].served)
+	if tr.lookup(3).served != 500 || tr.lookup(1).served != 500 {
+		t.Fatalf("served: node3=%d node1=%d, want 500/500", tr.lookup(3).served, tr.lookup(1).served)
 	}
-	if tr.nodes[5].served != 0 {
-		t.Fatalf("sibling charged: %d", tr.nodes[5].served)
+	if tr.lookup(5).served != 0 {
+		t.Fatalf("sibling charged: %d", tr.lookup(5).served)
 	}
 }

@@ -16,9 +16,10 @@ type Request struct {
 	Header    []hpack.HeaderField // non-pseudo fields
 }
 
-// URL returns scheme://authority/path.
+// URL returns scheme://authority/path. (Concatenation, not Sprintf:
+// this runs once per adopted push on the hot path.)
 func (r Request) URL() string {
-	return fmt.Sprintf("%s://%s%s", r.Scheme, r.Authority, r.Path)
+	return r.Scheme + "://" + r.Authority + r.Path
 }
 
 // Fields encodes the request as an HPACK header list, pseudo-headers
@@ -66,6 +67,14 @@ type Server struct {
 	// Handler is invoked when a request's headers are complete. Bodies on
 	// requests are ignored (the testbed replays GETs).
 	Handler func(sw *ServerStream, req Request)
+
+	// fscratch is the reused response header list (encoded before Respond
+	// returns, so one scratch per connection suffices).
+	fscratch []hpack.HeaderField
+	// issued/free recycle ServerStream wrappers across connections on a
+	// pooled server (see Reset).
+	issued []*ServerStream
+	free   []*ServerStream
 }
 
 // NewServer builds a server connection with the given local settings.
@@ -77,13 +86,40 @@ func NewServer(local Settings, handler func(sw *ServerStream, req Request)) *Ser
 			s.Core.streamError(st.ID, ErrCodeProtocol)
 			return
 		}
-		sw := &ServerStream{Server: s, St: st, Req: req}
+		sw := s.newServerStream(st, req)
 		st.User = sw
 		if s.Handler != nil {
 			s.Handler(sw, req)
 		}
 	}
 	return s
+}
+
+// Reset re-arms a pooled server for a fresh connection: the core, its
+// codec state and every wrapper struct are recycled; the dispatch
+// closure installed by NewServer is kept.
+func (s *Server) Reset(local Settings, handler func(sw *ServerStream, req Request)) {
+	s.Core.Reset(local)
+	s.Handler = handler
+	for _, sw := range s.issued {
+		*sw = ServerStream{}
+		s.free = append(s.free, sw)
+	}
+	s.issued = s.issued[:0]
+}
+
+func (s *Server) newServerStream(st *Stream, req Request) *ServerStream {
+	var sw *ServerStream
+	if n := len(s.free); n > 0 {
+		sw = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+	} else {
+		sw = &ServerStream{}
+	}
+	*sw = ServerStream{Server: s, St: st, Req: req}
+	s.issued = append(s.issued, sw)
+	return sw
 }
 
 // ServerStream is the server's handle on one request (or push) stream.
@@ -93,21 +129,38 @@ type ServerStream struct {
 	Req    Request
 }
 
+// ResponseFields assembles the header list Respond would send, appended
+// onto dst (prepare-time callers pre-build and pre-encode these).
+func ResponseFields(dst []hpack.HeaderField, status int, ctype string, bodyLen int) []hpack.HeaderField {
+	dst = append(dst, hpack.HeaderField{Name: ":status", Value: strconv.Itoa(status)})
+	if ctype != "" {
+		dst = append(dst, hpack.HeaderField{Name: "content-type", Value: ctype})
+	}
+	return append(dst, hpack.HeaderField{Name: "content-length", Value: strconv.Itoa(bodyLen)})
+}
+
 // Respond sends a complete response on the stream.
 func (sw *ServerStream) Respond(status int, ctype string, body []byte, extra ...hpack.HeaderField) {
-	fields := []hpack.HeaderField{
-		{Name: ":status", Value: strconv.Itoa(status)},
-	}
-	if ctype != "" {
-		fields = append(fields, hpack.HeaderField{Name: "content-type", Value: ctype})
-	}
-	fields = append(fields, hpack.HeaderField{Name: "content-length", Value: strconv.Itoa(len(body))})
+	s := sw.Server
+	fields := ResponseFields(s.fscratch[:0], status, ctype, len(body))
 	fields = append(fields, extra...)
+	s.fscratch = fields[:0]
+	sw.respond(fields, nil, 0, body)
+}
+
+// RespondPre is Respond with prepare-time pre-built header fields and an
+// optional pre-encoded block valid at sequence position seqPos. The
+// wire bytes are identical to Respond with the same values.
+func (sw *ServerStream) RespondPre(fields []hpack.HeaderField, pe *hpack.PreEncoded, seqPos int, body []byte) {
+	sw.respond(fields, pe, seqPos, body)
+}
+
+func (sw *ServerStream) respond(fields []hpack.HeaderField, pe *hpack.PreEncoded, seqPos int, body []byte) {
 	if len(body) == 0 {
-		sw.Server.Core.SendResponseHeaders(sw.St, fields, true)
+		sw.Server.Core.SendResponseHeadersPre(sw.St, fields, pe, seqPos, true)
 		return
 	}
-	sw.Server.Core.SendResponseHeaders(sw.St, fields, false)
+	sw.Server.Core.SendResponseHeadersPre(sw.St, fields, pe, seqPos, false)
 	sw.St.QueueData(body)
 	sw.St.CloseOut()
 }
@@ -116,11 +169,21 @@ func (sw *ServerStream) Respond(status int, ctype string, body []byte, extra ...
 // promised stream's handle, on which Respond must then be called. It
 // returns nil when the client disabled push (SETTINGS_ENABLE_PUSH=0).
 func (sw *ServerStream) Push(req Request) *ServerStream {
-	st := sw.Server.Core.Push(sw.St, req.Fields())
+	return sw.PushPre(req, nil, nil, 0)
+}
+
+// PushPre is Push with prepare-time pre-built request fields (nil falls
+// back to req.Fields()) and an optional pre-encoded PUSH_PROMISE block
+// valid at sequence position seqPos.
+func (sw *ServerStream) PushPre(req Request, fields []hpack.HeaderField, pe *hpack.PreEncoded, seqPos int) *ServerStream {
+	if fields == nil {
+		fields = req.Fields()
+	}
+	st := sw.Server.Core.PushPre(sw.St, fields, pe, seqPos)
 	if st == nil {
 		return nil
 	}
-	psw := &ServerStream{Server: sw.Server, St: st, Req: req}
+	psw := sw.Server.newServerStream(st, req)
 	st.User = psw
 	return psw
 }

@@ -11,10 +11,19 @@ type Encoder struct {
 	// at the start of the next header block.
 	pendingMaxSize *uint32
 	// DisableIndexing stops the encoder from adding entries to the
-	// dynamic table (useful for benchmarks and ablations).
+	// dynamic table. This is the static-only mode: without dynamic-table
+	// state, encoding a header list is a pure function, which is what
+	// makes statically pre-encoded blocks valid at any connection point.
 	DisableIndexing bool
 	// buf is the reused output buffer; see EncodeBlock.
 	buf []byte
+	// blocks counts header blocks emitted (EncodeBlock or
+	// ApplyPreEncoded) since construction/Reset; pre-encoded sequences
+	// use it to prove the table is at a known point.
+	blocks int
+	// recordAdds, when set, collects the dynamic-table insertions an
+	// EncodeBlock performs (the PreEncodeBlock hook).
+	recordAdds *[]HeaderField
 }
 
 // NewEncoder returns an encoder with the default 4096-byte dynamic table.
@@ -23,6 +32,22 @@ func NewEncoder() *Encoder {
 	e.dt.maxSize = DefaultDynamicTableSize
 	return e
 }
+
+// Reset returns the encoder to its post-NewEncoder state while keeping
+// its allocated buffers, so a pooled connection reuses the encoder
+// without re-growing the table ring or the output buffer.
+func (e *Encoder) Reset() {
+	e.dt.reset()
+	e.dt.maxSize = DefaultDynamicTableSize
+	e.pendingMaxSize = nil
+	e.DisableIndexing = false
+	e.blocks = 0
+	e.recordAdds = nil
+}
+
+// BlockCount returns the number of header blocks emitted since the
+// encoder was constructed or Reset.
+func (e *Encoder) BlockCount() int { return e.blocks }
 
 // SetMaxDynamicTableSize applies a table size chosen by the peer's
 // SETTINGS_HEADER_TABLE_SIZE. Reductions are signalled in-band at the
@@ -49,6 +74,7 @@ func (e *Encoder) EncodeBlock(fields []HeaderField) []byte {
 		dst = e.appendField(dst, hf)
 	}
 	e.buf = dst
+	e.blocks++
 	return dst
 }
 
@@ -76,6 +102,9 @@ func (e *Encoder) appendField(dst []byte, hf HeaderField) []byte {
 	} else {
 		dst = appendInt(dst, 0x40, 6, uint64(nameIdx))
 		e.dt.add(hf)
+		if e.recordAdds != nil {
+			*e.recordAdds = append(*e.recordAdds, hf)
+		}
 	}
 	if nameIdx == 0 {
 		dst = appendString(dst, hf.Name)
@@ -107,13 +136,36 @@ type Decoder struct {
 	// maxAllowed is the ceiling the decoder permits for in-band dynamic
 	// table size updates (our SETTINGS_HEADER_TABLE_SIZE).
 	maxAllowed uint32
+
+	// fields is the reused DecodeBlock output; see DecodeBlock.
+	fields []HeaderField
+	// strs interns decoded string literals: replayed traffic repeats the
+	// same authorities, paths and content types on every request, so the
+	// steady state decodes without allocating. Bounded by maxInterned.
+	strs map[string]string
+	// hscratch is the reused Huffman decode buffer.
+	hscratch []byte
 }
+
+// maxInterned bounds the decoder's string intern table so adversarial
+// header streams cannot grow it without limit.
+const maxInterned = 4096
 
 // NewDecoder returns a decoder with the default 4096-byte dynamic table.
 func NewDecoder() *Decoder {
 	d := &Decoder{maxAllowed: DefaultDynamicTableSize}
 	d.dt.maxSize = DefaultDynamicTableSize
 	return d
+}
+
+// Reset returns the decoder to its post-NewDecoder state while keeping
+// its allocated buffers and the interned-string table (interned strings
+// are immutable, so reuse across connections changes no output).
+func (d *Decoder) Reset() {
+	d.dt.reset()
+	d.dt.maxSize = DefaultDynamicTableSize
+	d.maxAllowed = DefaultDynamicTableSize
+	d.MaxStringLength = 0
 }
 
 // SetAllowedMaxDynamicTableSize updates the ceiling we advertised via
@@ -147,9 +199,14 @@ func (d *Decoder) lookup(i uint64) (HeaderField, error) {
 	return hf, nil
 }
 
-// DecodeBlock decompresses a complete header block.
+// DecodeBlock decompresses a complete header block. The returned slice
+// aliases the decoder's reused output buffer: it is only valid until the
+// next DecodeBlock call, so callers that retain fields past that point
+// must copy them (the field strings themselves are immutable and safe to
+// keep).
 func (d *Decoder) DecodeBlock(p []byte) ([]HeaderField, error) {
-	var out []HeaderField
+	out := d.fields[:0]
+	defer func() { d.fields = out }()
 	seenField := false
 	for len(p) > 0 {
 		b := p[0]
@@ -227,16 +284,57 @@ func (d *Decoder) readLiteral(p []byte, prefix uint8) (HeaderField, []byte, erro
 		}
 		hf.Name = base.Name
 	} else {
-		hf.Name, p, err = readString(p, d.maxString())
+		hf.Name, p, err = d.readString(p)
 		if err != nil {
 			return HeaderField{}, nil, err
 		}
 	}
-	hf.Value, p, err = readString(p, d.maxString())
+	hf.Value, p, err = d.readString(p)
 	if err != nil {
 		return HeaderField{}, nil, err
 	}
 	return hf, p, nil
+}
+
+// readString decodes one string literal, interning the result so
+// repeated literals (the same authorities and paths on every replayed
+// request) are decoded without allocating.
+func (d *Decoder) readString(p []byte) (string, []byte, error) {
+	if len(p) == 0 {
+		return "", nil, fmt.Errorf("%w: truncated string", ErrDecode)
+	}
+	huff := p[0]&0x80 != 0
+	n, p, err := readInt(p, 7)
+	if err != nil {
+		return "", nil, err
+	}
+	if n > uint64(d.maxString()) {
+		return "", nil, fmt.Errorf("%w: string length %d exceeds limit %d", ErrDecode, n, d.maxString())
+	}
+	if uint64(len(p)) < n {
+		return "", nil, fmt.Errorf("%w: string extends past block", ErrDecode)
+	}
+	raw := p[:n]
+	p = p[n:]
+	b := raw
+	if huff {
+		d.hscratch, err = huffmanDecodeAppend(d.hscratch[:0], raw)
+		if err != nil {
+			return "", nil, err
+		}
+		b = d.hscratch
+	}
+	if s, ok := d.strs[string(b)]; ok {
+		return s, p, nil
+	}
+	s := string(b)
+	if len(d.strs) < maxInterned {
+		if d.strs == nil {
+			d.strs = make(map[string]string)
+		}
+		d.strs[s] = s
+	}
+	return s, p, nil
 }
 
 // DynamicTableSize returns the current dynamic table occupancy in bytes.

@@ -34,10 +34,15 @@ const DefaultDynamicTableSize = 4096
 // ErrDecode is the base error for malformed header blocks.
 var ErrDecode = errors.New("hpack: decoding error")
 
-// dynamicTable is the FIFO table of recently encoded/decoded fields.
-// Entry 0 is the newest (absolute HPACK index 62).
+// dynamicTable is the FIFO table of recently encoded/decoded fields,
+// backed by a ring buffer so inserting a new entry never copies or
+// reallocates the existing ones (the old prepend idiom allocated a
+// fresh slice per insertion, which dominated the warm-run profile).
+// Logical entry 1 is the newest (absolute HPACK index 62).
 type dynamicTable struct {
-	ents    []HeaderField
+	ents    []HeaderField // ring storage; entry i (1-based) lives at (head+i-1)%len
+	head    int           // storage index of the newest entry
+	n       int           // live entries
 	size    uint32
 	maxSize uint32
 }
@@ -47,40 +52,60 @@ func (dt *dynamicTable) setMaxSize(m uint32) {
 	dt.evict()
 }
 
+// reset empties the table, keeping the ring storage for reuse. Entries
+// are zeroed so the table does not pin decoded strings past a
+// connection's lifetime.
+func (dt *dynamicTable) reset() {
+	for i := 0; i < dt.n; i++ {
+		dt.ents[(dt.head+i)%len(dt.ents)] = HeaderField{}
+	}
+	dt.head, dt.n, dt.size = 0, 0, 0
+}
+
 func (dt *dynamicTable) add(hf HeaderField) {
 	sz := hf.Size()
 	if sz > dt.maxSize {
 		// An entry larger than the table empties it (RFC 7541 4.4).
-		dt.ents = nil
-		dt.size = 0
+		dt.reset()
 		return
 	}
-	dt.ents = append([]HeaderField{hf}, dt.ents...)
+	if dt.n == len(dt.ents) {
+		grown := make([]HeaderField, max(2*len(dt.ents), 8))
+		for i := 0; i < dt.n; i++ {
+			grown[i] = dt.ents[(dt.head+i)%len(dt.ents)]
+		}
+		dt.ents, dt.head = grown, 0
+	}
+	dt.head = (dt.head - 1 + len(dt.ents)) % len(dt.ents)
+	dt.ents[dt.head] = hf
+	dt.n++
 	dt.size += sz
 	dt.evict()
 }
 
 func (dt *dynamicTable) evict() {
-	for dt.size > dt.maxSize && len(dt.ents) > 0 {
-		last := dt.ents[len(dt.ents)-1]
-		dt.size -= last.Size()
-		dt.ents = dt.ents[:len(dt.ents)-1]
+	for dt.size > dt.maxSize && dt.n > 0 {
+		idx := (dt.head + dt.n - 1) % len(dt.ents)
+		dt.size -= dt.ents[idx].Size()
+		dt.ents[idx] = HeaderField{}
+		dt.n--
 	}
 }
 
 // at returns the entry with 1-based dynamic index i (1 = newest).
 func (dt *dynamicTable) at(i int) (HeaderField, bool) {
-	if i < 1 || i > len(dt.ents) {
+	if i < 1 || i > dt.n {
 		return HeaderField{}, false
 	}
-	return dt.ents[i-1], true
+	return dt.ents[(dt.head+i-1)%len(dt.ents)], true
 }
 
 // search returns the 1-based dynamic index of the best match:
 // exact (name+value) match preferred, else a name-only match; 0 if none.
 func (dt *dynamicTable) search(hf HeaderField) (idx int, nameOnly bool) {
 	nameIdx := 0
-	for i, e := range dt.ents {
+	for i := 0; i < dt.n; i++ {
+		e := &dt.ents[(dt.head+i)%len(dt.ents)]
 		if e.Name != hf.Name {
 			continue
 		}
@@ -155,31 +180,4 @@ func appendString(dst []byte, s string) []byte {
 	}
 	dst = appendInt(dst, 0, 7, uint64(len(s)))
 	return append(dst, s...)
-}
-
-func readString(p []byte, maxLen int) (s string, rest []byte, err error) {
-	if len(p) == 0 {
-		return "", nil, fmt.Errorf("%w: truncated string", ErrDecode)
-	}
-	huff := p[0]&0x80 != 0
-	n, p, err := readInt(p, 7)
-	if err != nil {
-		return "", nil, err
-	}
-	if n > uint64(maxLen) {
-		return "", nil, fmt.Errorf("%w: string length %d exceeds limit %d", ErrDecode, n, maxLen)
-	}
-	if uint64(len(p)) < n {
-		return "", nil, fmt.Errorf("%w: string extends past block", ErrDecode)
-	}
-	raw := p[:n]
-	p = p[n:]
-	if huff {
-		dec, err := HuffmanDecode(raw)
-		if err != nil {
-			return "", nil, err
-		}
-		return string(dec), p, nil
-	}
-	return string(raw), p, nil
 }

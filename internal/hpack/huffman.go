@@ -40,7 +40,13 @@ func buildHuffTree() *huffNode {
 // the most-significant bits of the EOS symbol (all ones) and shorter than
 // one byte, per the RFC's strict requirements.
 func HuffmanDecode(data []byte) ([]byte, error) {
-	var out []byte
+	return huffmanDecodeAppend(nil, data)
+}
+
+// huffmanDecodeAppend appends the decoded string onto dst (the decoder's
+// reused scratch buffer).
+func huffmanDecodeAppend(dst, data []byte) ([]byte, error) {
+	out := dst
 	n := huffRoot
 	depth := 0 // bits consumed on the current partial symbol
 	allOnes := true

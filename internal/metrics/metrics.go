@@ -66,21 +66,37 @@ func SpeedIndex(curve []ProgressPoint, fallback time.Duration) time.Duration {
 }
 
 // Sample is a collection of repeated measurements of one scalar metric
-// (e.g. PLT over 31 runs of a site).
+// (e.g. PLT over 31 runs of a site). Appending via Add keeps a cached
+// sorted view valid lazily: the first quantile query after a batch of
+// Adds sorts once, and every further Median/Percentile/CDF call reuses
+// the cache instead of copying and re-sorting per call.
 type Sample struct {
 	Values []time.Duration
+
+	// sortedVals caches the sorted copy of Values; valid while
+	// sortedN == len(Values). Mutating Values directly bypasses the
+	// cache — use Add, or re-slice and Add afresh.
+	sortedVals []time.Duration
+	sortedN    int
 }
 
-// Add appends a measurement.
-func (s *Sample) Add(v time.Duration) { s.Values = append(s.Values, v) }
+// Add appends a measurement, invalidating the sorted cache.
+func (s *Sample) Add(v time.Duration) {
+	s.Values = append(s.Values, v)
+	s.sortedN = -1
+}
 
 // N returns the number of measurements.
 func (s *Sample) N() int { return len(s.Values) }
 
 func (s *Sample) sorted() []time.Duration {
-	out := append([]time.Duration(nil), s.Values...)
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	if s.sortedN == len(s.Values) && s.sortedVals != nil {
+		return s.sortedVals
+	}
+	s.sortedVals = append(s.sortedVals[:0], s.Values...)
+	slices.Sort(s.sortedVals)
+	s.sortedN = len(s.Values)
+	return s.sortedVals
 }
 
 // Median returns the sample median (the paper reports medians of 31
@@ -95,6 +111,39 @@ func (s *Sample) Median() time.Duration {
 		return v[n/2]
 	}
 	return (v[n/2-1] + v[n/2]) / 2
+}
+
+// Percentile returns the p-quantile (0 <= p <= 1) by nearest-rank on the
+// cached sorted values, so repeated quantile queries after one batch of
+// Adds cost O(1) after a single sort.
+func (s *Sample) Percentile(p float64) time.Duration {
+	n := len(s.Values)
+	if n == 0 {
+		return 0
+	}
+	v := s.sorted()
+	switch {
+	case p <= 0:
+		return v[0]
+	case p >= 1:
+		return v[n-1]
+	}
+	i := int(p * float64(n))
+	if i >= n {
+		i = n - 1
+	}
+	return v[i]
+}
+
+// SampleCDF returns the sample's empirical CDF from the cached sorted
+// values.
+func (s *Sample) SampleCDF() []CDFPoint {
+	v := s.sorted()
+	out := make([]CDFPoint, len(v))
+	for i, d := range v {
+		out[i] = CDFPoint{Value: float64(d), Fraction: float64(i+1) / float64(len(v))}
+	}
+	return out
 }
 
 // Mean returns the arithmetic mean.

@@ -230,3 +230,31 @@ func TestMedianFloat64(t *testing.T) {
 		t.Fatalf("input mutated: %v", in)
 	}
 }
+
+func TestSampleSortedCacheInvalidation(t *testing.T) {
+	var s Sample
+	for _, v := range []time.Duration{30, 10, 20} {
+		s.Add(v)
+	}
+	if got := s.Median(); got != 20 {
+		t.Fatalf("median = %v, want 20", got)
+	}
+	// The cached sorted view must not leak into Values or go stale.
+	if got := s.Percentile(0); got != 10 {
+		t.Fatalf("p0 = %v, want 10", got)
+	}
+	s.Add(5)
+	if got := s.Median(); got != 15 {
+		t.Fatalf("median after Add = %v, want 15", got)
+	}
+	if got := s.Percentile(1); got != 30 {
+		t.Fatalf("p100 = %v, want 30", got)
+	}
+	if s.Values[0] != 30 || s.Values[3] != 5 {
+		t.Fatalf("Values reordered by quantile calls: %v", s.Values)
+	}
+	cdf := s.SampleCDF()
+	if len(cdf) != 4 || cdf[0].Value != 5 || cdf[3].Fraction != 1 {
+		t.Fatalf("SampleCDF = %v", cdf)
+	}
+}

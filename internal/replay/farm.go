@@ -1,16 +1,19 @@
 package replay
 
 import (
+	"reflect"
 	"time"
 
 	"repro/internal/h2"
+	"repro/internal/hpack"
 	"repro/internal/netem"
 	"repro/internal/sim"
 )
 
 // Farm spawns the per-IP virtual origin servers for one page load and
 // executes the push plan. One Farm serves exactly one simulated browser
-// session (the testbed builds a fresh Farm per run).
+// session (the testbed builds a fresh Farm per run, or resets a pooled
+// one).
 type Farm struct {
 	S        *sim.Sim
 	Net      *netem.Network
@@ -21,48 +24,275 @@ type Farm struct {
 	// paper assumes zero (Sec. 4.1).
 	ThinkTime time.Duration
 
+	// NoPreEncode forces every header block onto the live-encoding path,
+	// bypassing the prepare-time pre-encoded blocks. The wire bytes are
+	// identical either way (pinned by TestFarmPreEncodeByteIdentical);
+	// the knob exists for that test and for profiling the ablation.
+	NoPreEncode bool
+
 	// Stats accumulated over the session.
 	BytesPushed  int64
 	PushCount    int
 	RequestCount int
+
+	// resolved is the plan lowered onto the site's intern table: push
+	// lists as entries, critical membership as flags, and the pre-encoded
+	// first-serve header-block sequence. It is recomputed only when the
+	// (site, plan) pair changes, so a run context re-running the same
+	// evaluation reuses it across every run.
+	resolved resolvedPlan
+
+	// handler is the per-farm request dispatch closure, built once.
+	handler func(sw *h2.ServerStream, req h2.Request)
+
+	// Pooled server connections: bundles move from pool to active on
+	// Dial and back on Reset, so a warm farm re-dials without rebuilding
+	// h2 state.
+	srvPool   []*serverBundle
+	srvActive []*serverBundle
+
+	// criticalIDs is the reused per-serve interleave gate list.
+	criticalIDs []uint32
+	// pending is the reused per-serve pushed-stream list.
+	pending []pendingPush
+}
+
+type serverBundle struct {
+	srv *h2.Server
+	ep  *h2.SimEndpoint
+}
+
+type pendingPush struct {
+	psw    *h2.ServerStream
+	entry  *Entry
+	pre    *hpack.PreEncoded
+	seqPos int
+}
+
+// resolvedPlan caches the per-(site, plan) lowering. Identity of the
+// plan is the identity of its maps: strategies build a plan's maps once
+// and pass the same maps on every run, so pointer identity is exact.
+type resolvedPlan struct {
+	site     *Site
+	pushSig  uintptr
+	ilvSig   uintptr
+	valid    bool
+	triggers map[*Entry]*resolvedTrigger
+}
+
+// resolvedTrigger is one trigger URL's serving program: the ordered,
+// deduplicated, authoritative push list with critical flags, plus the
+// pre-encoded header-block sequence for the canonical first serve on a
+// pristine connection: PUSH_PROMISE blocks at positions 0..k-1, the
+// trigger response at k, and push responses at k+1..2k. When the
+// connection's encoder is anywhere else (pushes disabled, a different
+// request served first), every block falls back to live encoding —
+// byte-identical either way.
+type resolvedTrigger struct {
+	pushes    []*Entry
+	critical  []bool
+	nCritical int
+	spec      InterleaveSpec
+	hasSpec   bool
+
+	ppPre     []hpack.PreEncoded
+	respPre   hpack.PreEncoded
+	pushResp  []hpack.PreEncoded
+	respField []hpack.HeaderField
 }
 
 // NewFarm builds a farm for one run.
 func NewFarm(s *sim.Sim, net *netem.Network, site *Site, plan Plan) *Farm {
-	return &Farm{
-		S: s, Net: net, Site: site, Plan: plan,
-		Settings: h2.DefaultSettings(),
-	}
+	f := &Farm{}
+	f.Reset(s, net, site, plan)
+	return f
 }
 
 // Reset re-arms the farm for a new run, exactly as NewFarm would
 // configure it: fresh stats, default settings, zero think time. The
-// per-connection servers it spawned last run are owned by the previous
-// simulator run and are simply dropped.
+// per-connection servers it spawned last run are recycled into the
+// farm's pool (the previous simulator run is over, so nothing still
+// references their transports).
 func (f *Farm) Reset(s *sim.Sim, net *netem.Network, site *Site, plan Plan) {
 	f.S, f.Net, f.Site, f.Plan = s, net, site, plan
 	f.Settings = h2.DefaultSettings()
 	f.ThinkTime = 0
 	f.BytesPushed, f.PushCount, f.RequestCount = 0, 0, 0
+	if f.handler == nil {
+		f.handler = f.dispatch
+	}
+	f.srvPool = append(f.srvPool, f.srvActive...)
+	for i := range f.srvActive {
+		f.srvActive[i] = nil
+	}
+	f.srvActive = f.srvActive[:0]
+	f.resolvePlan()
+}
+
+func mapSig[K comparable, V any](m map[K]V) uintptr {
+	if m == nil {
+		return 0
+	}
+	return reflect.ValueOf(m).Pointer()
+}
+
+// resolvePlan lowers the plan onto the site's intern table, reusing the
+// previous lowering when the (site, plan) identity is unchanged.
+func (f *Farm) resolvePlan() {
+	pushSig, ilvSig := mapSig(f.Plan.Push), mapSig(f.Plan.Interleave)
+	if f.resolved.valid && f.resolved.site == f.Site &&
+		f.resolved.pushSig == pushSig && f.resolved.ilvSig == ilvSig {
+		return
+	}
+	f.resolved = resolvedPlan{
+		site: f.Site, pushSig: pushSig, ilvSig: ilvSig, valid: true,
+		triggers: make(map[*Entry]*resolvedTrigger, len(f.Plan.Push)),
+	}
+	in := f.Site.Prepared().Interns()
+	for trigger, pushURLs := range f.Plan.Push {
+		te := f.Site.DB.Get(trigger)
+		if te == nil || te.URL.String() != trigger {
+			// Pushes fire only when the served entry's canonical URL is
+			// the plan key, exactly as the old per-request string match.
+			continue
+		}
+		spec, hasSpec := f.lookupInterleave(trigger)
+		rt := &resolvedTrigger{spec: spec, hasSpec: hasSpec}
+
+		// Order: critical URLs first (in spec order), then the remaining
+		// push URLs in plan order, deduplicated by canonical URL string —
+		// interned IDs make the sets bitsets, with a tiny overflow list
+		// for URLs outside the prepared ID space.
+		inCritical := newBitset(in.NumResources())
+		var critOverflow []string
+		mark := func(b *bitset, over *[]string, u string) {
+			if id, ok := in.Lookup(u); ok {
+				b.set(id)
+			} else {
+				*over = append(*over, u)
+			}
+		}
+		has := func(b *bitset, over []string, u string) bool {
+			if id, ok := in.Lookup(u); ok {
+				return b.has(id)
+			}
+			for _, v := range over {
+				if v == u {
+					return true
+				}
+			}
+			return false
+		}
+		for _, u := range spec.Critical {
+			mark(inCritical, &critOverflow, u)
+		}
+		seen := newBitset(in.NumResources())
+		var seenOverflow []string
+		add := func(u string, critical bool) {
+			if has(seen, seenOverflow, u) {
+				return
+			}
+			mark(seen, &seenOverflow, u)
+			pe := f.Site.DB.Get(u)
+			if pe == nil {
+				return
+			}
+			// A server may only push content it is authoritative for.
+			if !f.Site.Authoritative(te.URL.Authority, pe.URL.Authority) {
+				return
+			}
+			rt.pushes = append(rt.pushes, pe)
+			rt.critical = append(rt.critical, critical)
+			if critical {
+				rt.nCritical++
+			}
+		}
+		for _, u := range spec.Critical {
+			if contains(pushURLs, u) {
+				add(u, true)
+			}
+		}
+		for _, u := range pushURLs {
+			add(u, has(inCritical, critOverflow, u))
+		}
+
+		f.preEncodeTrigger(in, te, rt)
+		f.resolved.triggers[te] = rt
+	}
+}
+
+// preEncodeTrigger encodes the trigger's first-serve block sequence on a
+// scratch encoder, in exactly the order serve emits it.
+func (f *Farm) preEncodeTrigger(in *Interns, te *Entry, rt *resolvedTrigger) {
+	enc := hpack.NewEncoder()
+	rt.ppPre = make([]hpack.PreEncoded, len(rt.pushes))
+	for i, pe := range rt.pushes {
+		id, ok := in.IDOfEntry(pe)
+		if !ok {
+			// A pushed entry outside the prepared ID space (cannot happen
+			// for recorded sites, defensive): pre-encode from scratch-built
+			// fields so the sequence stays aligned.
+			rt.ppPre[i] = enc.PreEncodeBlock(h2.Request{
+				Method: "GET", Scheme: pe.URL.Scheme,
+				Authority: pe.URL.Authority, Path: pe.URL.Path,
+			}.Fields())
+			continue
+		}
+		rt.ppPre[i] = enc.PreEncodeBlock(in.ReqFields(id))
+	}
+	if fields, _, ok := in.RespFieldsOf(te); ok {
+		// Interned (immutable) trigger entries pre-encode their response;
+		// a per-run scaled trigger keeps respField nil and encodes live.
+		rt.respField = fields
+		rt.respPre = enc.PreEncodeBlock(rt.respField)
+	} else {
+		enc.PreEncodeBlock(h2.ResponseFields(nil, te.Status, te.ContentType, len(te.Body)))
+	}
+	rt.pushResp = make([]hpack.PreEncoded, len(rt.pushes))
+	for i, pe := range rt.pushes {
+		if fields, _, ok := in.RespFieldsOf(pe); ok {
+			rt.pushResp[i] = enc.PreEncodeBlock(fields)
+		} else {
+			rt.pushResp[i] = enc.PreEncodeBlock(h2.ResponseFields(nil, pe.Status, pe.ContentType, len(pe.Body)))
+		}
+	}
 }
 
 // Dial opens a fresh connection to the origin server replaying host.
 // ready fires at connectEnd with the client-side transport end; the
 // caller attaches its h2 client there. Every server on the farm shares
 // the emulated access link, so cross-connection contention is modelled.
+// Server connections are drawn from the farm's pool: a warm farm
+// re-dials with fully recycled h2 state.
 func (f *Farm) Dial(host string, ready func(clientEnd *netem.End)) {
 	f.Net.Dial(func(c *netem.Conn) {
-		srv := h2.NewServer(f.Settings, func(sw *h2.ServerStream, req h2.Request) {
-			f.RequestCount++
-			if f.ThinkTime > 0 {
-				f.S.After(f.ThinkTime, func() { f.serve(sw, req) })
-				return
-			}
-			f.serve(sw, req)
-		})
-		h2.AttachSim(srv.Core, c.ServerEnd())
+		b := f.getServer()
+		b.ep.Attach(b.srv.Core, c.ServerEnd())
 		ready(c.ClientEnd())
 	})
+}
+
+func (f *Farm) getServer() *serverBundle {
+	var b *serverBundle
+	if n := len(f.srvPool); n > 0 {
+		b = f.srvPool[n-1]
+		f.srvPool[n-1] = nil
+		f.srvPool = f.srvPool[:n-1]
+		b.srv.Reset(f.Settings, f.handler)
+	} else {
+		b = &serverBundle{srv: h2.NewServer(f.Settings, f.handler), ep: &h2.SimEndpoint{}}
+	}
+	f.srvActive = append(f.srvActive, b)
+	return b
+}
+
+func (f *Farm) dispatch(sw *h2.ServerStream, req h2.Request) {
+	f.RequestCount++
+	if f.ThinkTime > 0 {
+		f.S.After(f.ThinkTime, func() { f.serve(sw, req) })
+		return
+	}
+	f.serve(sw, req)
 }
 
 func (f *Farm) serve(sw *h2.ServerStream, req h2.Request) {
@@ -71,38 +301,47 @@ func (f *Farm) serve(sw *h2.ServerStream, req h2.Request) {
 		sw.Respond(404, "text/plain", []byte("not found in record database"))
 		return
 	}
-	url := entry.URL.String()
-	pushURLs := f.Plan.PushesFor(url)
-	spec, hasSpec := f.lookupInterleave(url)
+	in := f.Site.Prepared().Interns()
+	rt := f.resolved.triggers[entry]
+	if rt == nil {
+		// No pushes triggered: a plain response. Prepared entries use the
+		// interned header list and (on a pristine connection) the
+		// pre-encoded block; per-run scaled copies take the live path.
+		if fields, pre, ok := in.RespFieldsOf(entry); ok && !f.NoPreEncode {
+			sw.RespondPre(fields, pre, 0, entry.Body)
+		} else {
+			sw.Respond(entry.Status, entry.ContentType, entry.Body)
+		}
+		return
+	}
 
-	// Order pushes: critical ones (in spec order) first, then the rest in
-	// plan order. Each push depends on the previous one in the priority
-	// tree, so delivery follows the computed push order deterministically.
-	ordered := orderPushes(pushURLs, spec.Critical)
-	type pending struct {
-		psw   *h2.ServerStream
-		entry *Entry
-	}
-	var pushes []pending
+	// Push burst: PUSH_PROMISE blocks occupy sequence positions
+	// 0..len-1, the trigger response len, push responses len+1..2len.
+	// The pre-encoded sequence is only valid while every block of it is
+	// emitted verbatim: once the trigger response falls back to live
+	// encoding (a per-run scaled trigger entry whose content-length
+	// differs from resolve time), the dynamic table diverges from the
+	// pre-encode-time table even though the block counter still lines
+	// up, so every later block of the sequence must go live too.
+	preOK := !f.NoPreEncode && rt.respField != nil
+	pushes := f.pending[:0]
+	f.criticalIDs = f.criticalIDs[:0]
 	var prevID uint32
-	criticalIDs := make([]uint32, 0, len(spec.Critical))
-	criticalSet := map[string]bool{}
-	for _, u := range spec.Critical {
-		criticalSet[u] = true
-	}
-	for _, u := range ordered {
-		pe := f.Site.DB.Get(u)
-		if pe == nil {
-			continue
+	for i, pe := range rt.pushes {
+		var reqFields []hpack.HeaderField
+		var ppPre *hpack.PreEncoded
+		if id, ok := in.IDOfEntry(pe); ok {
+			reqFields = in.ReqFields(id)
 		}
-		// A server may only push content it is authoritative for.
-		if !f.Site.Authoritative(req.Authority, pe.URL.Authority) {
-			continue
+		if !f.NoPreEncode {
+			// PUSH_PROMISE blocks precede the trigger response, so they
+			// are safe even when the response will live-encode.
+			ppPre = &rt.ppPre[i]
 		}
-		psw := sw.Push(h2.Request{
+		psw := sw.PushPre(h2.Request{
 			Method: "GET", Scheme: pe.URL.Scheme,
 			Authority: pe.URL.Authority, Path: pe.URL.Path,
-		})
+		}, reqFields, ppPre, i)
 		if psw == nil {
 			break // client disabled push
 		}
@@ -110,20 +349,31 @@ func (f *Farm) serve(sw *h2.ServerStream, req h2.Request) {
 			sw.Server.Core.Tree.Update(psw.St.ID, h2.PriorityParam{ParentID: prevID, Weight: h2.DefaultWeight})
 		}
 		prevID = psw.St.ID
-		if criticalSet[u] {
-			criticalIDs = append(criticalIDs, psw.St.ID)
+		if rt.critical[i] {
+			f.criticalIDs = append(f.criticalIDs, psw.St.ID)
 		}
-		pushes = append(pushes, pending{psw, pe})
+		pushes = append(pushes, pendingPush{
+			psw: psw, entry: pe, pre: &rt.pushResp[i], seqPos: len(rt.pushes) + 1 + i,
+		})
 		f.PushCount++
 		f.BytesPushed += int64(len(pe.Body))
 	}
-	if hasSpec && len(criticalIDs) > 0 {
-		sw.Interleave(spec.OffsetBytes, criticalIDs)
+	if rt.hasSpec && len(f.criticalIDs) > 0 {
+		sw.Interleave(rt.spec.OffsetBytes, f.criticalIDs)
 	}
-	sw.Respond(entry.Status, entry.ContentType, entry.Body)
+	if preOK {
+		sw.RespondPre(rt.respField, &rt.respPre, len(rt.pushes), entry.Body)
+	} else {
+		sw.Respond(entry.Status, entry.ContentType, entry.Body)
+	}
 	for _, p := range pushes {
-		p.psw.Respond(p.entry.Status, p.entry.ContentType, p.entry.Body)
+		if fields, _, ok := in.RespFieldsOf(p.entry); ok && preOK {
+			p.psw.RespondPre(fields, p.pre, p.seqPos, p.entry.Body)
+		} else {
+			p.psw.Respond(p.entry.Status, p.entry.ContentType, p.entry.Body)
+		}
 	}
+	f.pending = pushes[:0]
 }
 
 func (f *Farm) lookupInterleave(url string) (InterleaveSpec, bool) {
@@ -132,33 +382,6 @@ func (f *Farm) lookupInterleave(url string) (InterleaveSpec, bool) {
 	}
 	spec, ok := f.Plan.Interleave[url]
 	return spec, ok
-}
-
-// orderPushes returns urls with the critical subset (in critical's order)
-// moved to the front.
-func orderPushes(urls, critical []string) []string {
-	if len(critical) == 0 {
-		return urls
-	}
-	inCritical := map[string]bool{}
-	for _, u := range critical {
-		inCritical[u] = true
-	}
-	out := make([]string, 0, len(urls))
-	seen := map[string]bool{}
-	for _, u := range critical {
-		if !seen[u] && contains(urls, u) {
-			out = append(out, u)
-			seen[u] = true
-		}
-	}
-	for _, u := range urls {
-		if !inCritical[u] && !seen[u] {
-			out = append(out, u)
-			seen[u] = true
-		}
-	}
-	return out
 }
 
 func contains(xs []string, x string) bool {

@@ -1,0 +1,250 @@
+package replay
+
+import (
+	"repro/internal/h2"
+	"repro/internal/hpack"
+	"repro/internal/page"
+)
+
+// Interns is a prepared site's dense-ID name table: every resource URL,
+// authority (connection group) and font family the site can name is
+// assigned a small integer at prepare time, so the per-run hot path
+// (loader resource tables, farm push sets, request issuing) indexes
+// slices instead of hashing strings.
+//
+// Contract: IDs are prepare-time-stable and strictly per-site — an ID is
+// meaningless outside the Prepared that minted it, and IDs are never
+// reused across prepared sites (a rewritten site is a new Site with its
+// own Prepared and its own ID space; a scenario variant shares its
+// base's Prepared and therefore its base's IDs). Everything in an
+// Interns is immutable after prepare and shared read-only by all
+// workers.
+//
+// The table also carries the prepare-time HPACK pre-encoding: for every
+// resource, the request/push-promise header list and its pre-encoded
+// block as a connection's first block; for every recorded entry, the
+// response header list and block likewise (see hpack.PreEncoded for the
+// byte-identity rules).
+type Interns struct {
+	keys    []string
+	urls    []page.URL
+	entries []*Entry // nil when the URL is referenced but not recorded
+	connOf  []int32  // resource ID -> connection group ID, -1 unknown
+
+	reqFields  [][]hpack.HeaderField
+	reqPre     []hpack.PreEncoded
+	respFields [][]hpack.HeaderField // nil for entry-less resources
+	respPre    []hpack.PreEncoded
+
+	idByKey   map[string]int32
+	idByEntry map[*Entry]int32
+
+	connKeys    []string // group ID -> coalescing key
+	groupByHost map[string]int32
+
+	famByName map[string]int32
+	families  []string
+}
+
+// internSite builds the site's intern table. It runs once, inside
+// Site.Prepared's sync.Once, before any worker shares the result.
+func internSite(s *Site, p *Prepared) *Interns {
+	in := &Interns{
+		idByKey:     make(map[string]int32),
+		idByEntry:   make(map[*Entry]int32),
+		groupByHost: make(map[string]int32),
+		famByName:   make(map[string]int32),
+	}
+
+	// Connection groups: every deployed host first (sorted, so IDs are
+	// independent of reference order), then unknown authorities as they
+	// appear among interned resources.
+	for _, h := range s.Hosts() {
+		in.groupForHost(s, h)
+	}
+
+	// Resources: recorded entries in insertion order, then every URL the
+	// prepared parse can name — document references and stylesheet
+	// fonts/assets/imports — so the loader's prepare-time-resolved IDs
+	// cover everything a replayed run fetches.
+	for _, e := range s.DB.Entries() {
+		id := in.internURL(s, e.URL, e.URL.String())
+		if in.entries[id] == nil {
+			in.entries[id] = e
+			in.idByEntry[e] = id
+			in.respFields[id] = h2.ResponseFields(nil, e.Status, e.ContentType, len(e.Body))
+			in.respPre[id] = hpack.PreEncode(in.respFields[id])
+		}
+	}
+	if p.doc != nil {
+		for i := range p.doc.Resources {
+			if u, err := page.ParseURL(p.doc.Resources[i].URL, s.Base); err == nil {
+				in.internURL(s, u, u.String())
+			}
+		}
+	}
+	for _, e := range s.DB.Entries() {
+		sheet := p.sheets[e]
+		if sheet == nil {
+			continue
+		}
+		for _, ff := range sheet.FontFaces {
+			if ff.Family != "" {
+				in.internFamily(ff.Family)
+			}
+			if ff.URL == "" {
+				continue
+			}
+			if u, err := page.ParseURL(ff.URL, e.URL); err == nil {
+				in.internURL(s, u, u.String())
+			}
+		}
+		for _, asset := range sheet.AssetURLs {
+			if u, err := page.ParseURL(asset, e.URL); err == nil {
+				in.internURL(s, u, u.String())
+			}
+		}
+		for _, imp := range sheet.Imports {
+			if u, err := page.ParseURL(imp, e.URL); err == nil {
+				in.internURL(s, u, u.String())
+			}
+		}
+	}
+	return in
+}
+
+func (in *Interns) internURL(s *Site, u page.URL, key string) int32 {
+	if id, ok := in.idByKey[key]; ok {
+		return id
+	}
+	id := int32(len(in.keys))
+	in.idByKey[key] = id
+	in.keys = append(in.keys, key)
+	in.urls = append(in.urls, u)
+	in.entries = append(in.entries, nil)
+	in.connOf = append(in.connOf, in.groupForHost(s, u.Authority))
+	fields := h2.Request{
+		Method: "GET", Scheme: u.Scheme, Authority: u.Authority, Path: u.Path,
+	}.Fields()
+	in.reqFields = append(in.reqFields, fields)
+	in.reqPre = append(in.reqPre, hpack.PreEncode(fields))
+	in.respFields = append(in.respFields, nil)
+	in.respPre = append(in.respPre, hpack.PreEncoded{})
+	return id
+}
+
+func (in *Interns) groupForHost(s *Site, host string) int32 {
+	if g, ok := in.groupByHost[host]; ok {
+		return g
+	}
+	key := s.ConnKey(host)
+	// Coalesced hosts share a group: find an existing group with the same
+	// coalescing key (groups are few; linear scan at prepare time).
+	for g, k := range in.connKeys {
+		if k == key {
+			in.groupByHost[host] = int32(g)
+			return int32(g)
+		}
+	}
+	g := int32(len(in.connKeys))
+	in.connKeys = append(in.connKeys, key)
+	in.groupByHost[host] = g
+	return g
+}
+
+func (in *Interns) internFamily(name string) int32 {
+	if id, ok := in.famByName[name]; ok {
+		return id
+	}
+	id := int32(len(in.families))
+	in.famByName[name] = id
+	in.families = append(in.families, name)
+	return id
+}
+
+// NumResources returns the size of the resource-ID space.
+func (in *Interns) NumResources() int { return len(in.keys) }
+
+// NumConnGroups returns the size of the connection-group-ID space.
+func (in *Interns) NumConnGroups() int { return len(in.connKeys) }
+
+// NumFamilies returns the size of the font-family-ID space.
+func (in *Interns) NumFamilies() int { return len(in.families) }
+
+// Lookup returns the resource ID for a canonical URL string.
+func (in *Interns) Lookup(key string) (int32, bool) {
+	id, ok := in.idByKey[key]
+	return id, ok
+}
+
+// KeyOf returns the canonical URL string for id.
+func (in *Interns) KeyOf(id int32) string { return in.keys[id] }
+
+// URLOf returns the parsed URL for id.
+func (in *Interns) URLOf(id int32) page.URL { return in.urls[id] }
+
+// EntryOf returns the recorded entry for id, nil when the URL is
+// referenced by the site but not recorded.
+func (in *Interns) EntryOf(id int32) *Entry { return in.entries[id] }
+
+// ConnGroupOf returns id's connection group, -1 for unknown hosts.
+func (in *Interns) ConnGroupOf(id int32) int32 { return in.connOf[id] }
+
+// ConnGroupOfHost returns the connection group serving host.
+func (in *Interns) ConnGroupOfHost(host string) (int32, bool) {
+	g, ok := in.groupByHost[host]
+	return g, ok
+}
+
+// ConnKeyOf returns the coalescing key of a connection group.
+func (in *Interns) ConnKeyOf(group int32) string { return in.connKeys[group] }
+
+// FamilyID returns the dense ID of a font family named by the site's
+// stylesheets.
+func (in *Interns) FamilyID(name string) (int32, bool) {
+	id, ok := in.famByName[name]
+	return id, ok
+}
+
+// ReqFields returns the prepare-time request header list for id (exactly
+// h2.Request.Fields() of a GET for the URL).
+func (in *Interns) ReqFields(id int32) []hpack.HeaderField { return in.reqFields[id] }
+
+// ReqPre returns the pre-encoded request/push-promise block for id,
+// valid as a connection's first header block.
+func (in *Interns) ReqPre(id int32) *hpack.PreEncoded { return &in.reqPre[id] }
+
+// RespFieldsOf returns the prepare-time response header list and
+// pre-encoded block for a recorded entry; ok is false for entries the
+// prepared site does not own (per-run scaled copies, unrecorded URLs),
+// which must take the live-encoding path.
+func (in *Interns) RespFieldsOf(e *Entry) ([]hpack.HeaderField, *hpack.PreEncoded, bool) {
+	id, ok := in.idByEntry[e]
+	if !ok {
+		return nil, nil, false
+	}
+	return in.respFields[id], &in.respPre[id], true
+}
+
+// IDOfEntry returns the resource ID of a recorded entry.
+func (in *Interns) IDOfEntry(e *Entry) (int32, bool) {
+	id, ok := in.idByEntry[e]
+	return id, ok
+}
+
+// bitset is a dense-ID membership set sized once from the intern table.
+type bitset struct {
+	words []uint64
+}
+
+func newBitset(n int) *bitset { return &bitset{words: make([]uint64, (n+63)/64)} }
+
+func (b *bitset) has(id int32) bool {
+	return id >= 0 && b.words[id>>6]&(1<<(uint(id)&63)) != 0
+}
+
+func (b *bitset) set(id int32) {
+	if id >= 0 {
+		b.words[id>>6] |= 1 << (uint(id) & 63)
+	}
+}

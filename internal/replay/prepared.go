@@ -28,6 +28,11 @@ type Prepared struct {
 
 	sheets map[*Entry]*cssx.Stylesheet
 
+	// interns is the site's dense-ID name table (resource URLs,
+	// connection groups, font families) plus the prepare-time HPACK
+	// pre-encoding; see Interns.
+	interns *Interns
+
 	mu   sync.Mutex
 	memo map[string]*memoEntry
 }
@@ -53,6 +58,7 @@ func prepare(s *Site) *Prepared {
 			p.sheets[e] = cssx.Parse(e.Body)
 		}
 	}
+	p.interns = internSite(s, p)
 	return p
 }
 
@@ -88,6 +94,10 @@ func (p *Prepared) DocOf(e *Entry) *htmlx.Document {
 // part of the prepared site (the caller parses it itself). The map is
 // built once and read-only afterwards, so lookups are lock-free.
 func (p *Prepared) Sheet(e *Entry) *cssx.Stylesheet { return p.sheets[e] }
+
+// Interns returns the site's dense-ID name table. It is read-only and
+// shared by all workers; see Interns for the ID stability contract.
+func (p *Prepared) Interns() *Interns { return p.interns }
 
 // Memo returns the value cached under key, invoking build exactly once
 // per key to produce it. Concurrent callers for the same key block

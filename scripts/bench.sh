@@ -6,18 +6,20 @@
 #   smoke  one iteration per benchmark (CI: proves the harness works)
 #   full   timed runs (default; override duration with BENCHTIME=5s)
 #
-# The default output path is BENCH_pr4.json in the repo root, the perf
-# record established by PR 4's prepare-once/replay-many split (prepared
-# sites + reusable run contexts). The checked-in BENCH_prN.json files
-# wrap two of these records ("before"/"after" each refactor); subsequent
-# PRs append their own BENCH_prN.json by pointing the second argument at
-# a new file. The benchmark set includes the Jobs=1/2/4/8 engine sweep,
-# so the scaling curve is part of every record.
+# The default output path is BENCH_pr5.json in the repo root, the perf
+# record established by PR 5's dense-ID hot path (intern tables, pooled
+# h2 connections, pre-encoded header blocks). The checked-in
+# BENCH_prN.json files wrap two of these records ("before"/"after" each
+# refactor); subsequent PRs append their own BENCH_prN.json by pointing
+# the second argument at a new file. The benchmark set includes the
+# Jobs=1/2/4/8 engine sweep, so the scaling curve is part of every
+# record, and the JSON carries gomaxprocs/num_cpu so a 1-core container
+# run (where Jobs>1 cannot show wall-clock speedup) is machine-readable.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 mode="${1:-full}"
-out="${2:-BENCH_pr4.json}"
+out="${2:-BENCH_pr5.json}"
 
 args=(-run '^$' -bench 'PageLoad|ScenarioSweep|Engine' -benchmem)
 case "$mode" in
@@ -29,13 +31,22 @@ full) args+=(-benchtime "${BENCHTIME:-2s}") ;;
 	;;
 esac
 
+ncpu="$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 0)"
+
 txt="$(go test "${args[@]}" .)"
 printf '%s\n' "$txt"
 
-printf '%s\n' "$txt" | awk -v mode="$mode" '
+printf '%s\n' "$txt" | awk -v mode="$mode" -v ncpu="$ncpu" '
 /^Benchmark/ {
 	name = $1
-	sub(/-[0-9]+$/, "", name)
+	# The -N suffix on benchmark names is GOMAXPROCS for the run; Go
+	# omits it entirely when GOMAXPROCS is 1.
+	if (match(name, /-[0-9]+$/)) {
+		gomaxprocs = substr(name, RSTART + 1)
+		sub(/-[0-9]+$/, "", name)
+	} else if (gomaxprocs == "") {
+		gomaxprocs = 1
+	}
 	iters = $2
 	ns = "null"; bytes = "null"; allocs = "null"
 	for (i = 3; i < NF; i++) {
@@ -47,7 +58,8 @@ printf '%s\n' "$txt" | awk -v mode="$mode" '
 		name, iters, ns, bytes, allocs)
 }
 END {
-	printf "{\n  \"mode\": \"%s\",\n  \"results\": [\n", mode
+	if (gomaxprocs == "") gomaxprocs = "null"
+	printf "{\n  \"mode\": \"%s\",\n  \"gomaxprocs\": %s,\n  \"num_cpu\": %s,\n  \"results\": [\n", mode, gomaxprocs, ncpu
 	for (i = 0; i < n; i++) printf "%s%s\n", recs[i], (i < n - 1 ? "," : "")
 	printf "  ]\n}\n"
 }' >"$out"
