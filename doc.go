@@ -88,6 +88,60 @@
 // pooled on the run context's loader and farm and fully Reset between
 // runs.
 //
+// # Machine-checked contracts (repolint)
+//
+// The engine invariants described above are not just prose: cmd/repolint
+// (driving internal/analysis) type-checks the module and enforces them
+// statically, and CI gates every change on a clean run. Each contract
+// maps to one analyzer and, where the contract needs a human judgment
+// call, one escape-hatch directive:
+//
+//	contract                                analyzer       directive
+//	-----------------------------------------------------------------------------
+//	runs are a pure function of the seed:   determinism    //repolint:ordered <reason>
+//	no wall clock, no global math/rand,                      (order-safe map range)
+//	no map-order-dependent output in
+//	sim, core, netem, scenario
+//
+//	pooled reuse leaks nothing: every       resetcomplete  //repolint:pooled (on the type)
+//	//repolint:pooled type's Reset covers                  //repolint:keep <reason> (field
+//	every field, directly or through the                     deliberately survives Reset)
+//	methods it calls; a Reset method on                    //repolint:notpooled <reason>
+//	an unannotated type must declare                         (protocol Reset, not pooling)
+//	itself either way
+//
+//	the warm loop allocates nothing:        hotpath        //repolint:hotpath (opt-in on
+//	no fmt, string concatenation,                            the function; panic arguments
+//	closures, method values or                               and returns stay exempt as the
+//	non-pointer-shaped interface boxing                      cold error path)
+//	in functions marked hotpath
+//
+//	transport []byte parameters are         retain         //repolint:owns (the function
+//	borrowed: storing one (or a subslice,                    takes ownership; the caller
+//	or an append chain carrying one) into                    must not touch the buffer
+//	a field or package variable requires                     again)
+//	a declared ownership transfer
+//
+//	directives themselves are well-formed:  directives     (none: a typo'd or misattached
+//	known verb, reason present where                         escape hatch is always an
+//	required, attached to the right node                     error)
+//
+// Directives use the toolchain's comment-directive shape (//repolint:verb,
+// no space), so gofmt leaves them alone. Reasons run to end of line.
+// Run the suite with:
+//
+//	go run ./cmd/repolint ./...        # everything (what CI runs)
+//	go run ./cmd/repolint internal/h2  # one package
+//	go run ./cmd/repolint -list        # the analyzer catalog
+//
+// Each analyzer carries a seeded-violation fixture under
+// internal/analysis/testdata pinning its diagnostics, so the checkers
+// are themselves regression-tested. One deliberate asymmetry:
+// core.RunContext has no Reset method — per-run reset happens inside
+// RunOnceWith, member by member (each pooled member is itself a
+// //repolint:pooled type) — so resetcomplete checks its members, not
+// the aggregate.
+//
 // Experiment tables are pinned byte-for-byte across all of this
 // machinery by golden-fixture tests (internal/core/testdata) at Jobs=1
 // and Jobs=N under -race, and allocation budgets are enforced by

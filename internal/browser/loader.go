@@ -150,6 +150,8 @@ type cssWaiter struct {
 // overflow path for names the prepared site could not intern. All
 // static page state lives in the shared preparedPage; everything on the
 // Loader is owned by the current run only.
+//
+//repolint:pooled
 type Loader struct {
 	s    *sim.Sim
 	farm *replay.Farm
@@ -185,7 +187,7 @@ type Loader struct {
 
 	settings h2.Settings // per-run client h2 settings
 	onPushFn func(parent, promised *h2.ClientStream) bool
-	prio     h2.PriorityParam // scratch for request priority params
+	prio     h2.PriorityParam //repolint:keep scratch priority params, fully rewritten before each request
 
 	mi      int
 	scanIdx int // first doc.Resources index the preload scanner has not covered
@@ -408,6 +410,8 @@ func (ld *Loader) reqPreFor(r *resource) *hpack.PreEncoded {
 
 // ensureResourceID returns (creating if needed) the resource for an
 // interned ID: the hot path, a slice index.
+//
+//repolint:hotpath
 func (ld *Loader) ensureResourceID(id int32, u page.URL, key string, kind page.Kind) *resource {
 	if r := ld.resTab[id]; r != nil {
 		return r
@@ -500,6 +504,8 @@ func classWeight(kind page.Kind, async bool) uint8 {
 
 // fetch requests a resource unless it is already in flight (requested or
 // adopted from a push).
+//
+//repolint:hotpath
 func (ld *Loader) fetch(r *resource, async bool) {
 	r.discovered = true
 	if r.requested || (r.pushed && !r.cancelled) || r.loaded {
@@ -521,6 +527,8 @@ func (ld *Loader) fetch(r *resource, async bool) {
 }
 
 // issueFetch sends the request for r on the connected c.
+//
+//repolint:hotpath
 func (ld *Loader) issueFetch(c *conn, r *resource) {
 	parent := uint32(0)
 	if c.mainID != 0 {
@@ -540,6 +548,7 @@ func (ld *Loader) issueFetch(c *conn, r *resource) {
 	ld.res.Requests++
 }
 
+//repolint:hotpath
 func (ld *Loader) onChunk(r *resource, chunk []byte) {
 	r.bytes += len(chunk)
 	if r.entry == nil && (r.kind == page.KindCSS || r.kind == page.KindJS) {
@@ -551,6 +560,8 @@ func (ld *Loader) onChunk(r *resource, chunk []byte) {
 // host. group is the host's intern connection group when the caller has
 // it (-1 to resolve here); interned groups index the dense table,
 // unknown hosts fall back to the overflow map.
+//
+//repolint:hotpath
 func (ld *Loader) connFor(host string, group int32) *conn {
 	if group < 0 {
 		if g, ok := ld.in.ConnGroupOfHost(host); ok {
@@ -655,6 +666,8 @@ func (ld *Loader) onPush(promised *h2.ClientStream) bool {
 // necessarily parsed) bytes, modelling Chromium's lookahead scanner.
 // References are covered exactly once: doc.Resources is in byte order,
 // so a persistent index replaces the re-scan from the document start.
+//
+//repolint:hotpath
 func (ld *Loader) preloadScan() {
 	if !ld.cfg.PreloadScanner {
 		return
@@ -692,6 +705,7 @@ func (ld *Loader) computeDelay(ms float64) time.Duration {
 	return time.Duration(ms * float64(time.Millisecond))
 }
 
+//repolint:hotpath
 func (ld *Loader) advanceParser() {
 	if ld.parsing || ld.parserDone || ld.parserBlock != nil || ld.execBlocked || ld.pp == nil {
 		return
@@ -894,6 +908,7 @@ func resourceJSExecuted(a any) {
 	r.ld.checkLoad()
 }
 
+//repolint:hotpath
 func (ld *Loader) onLoaded(r *resource) {
 	if r.loaded {
 		return
@@ -1030,6 +1045,7 @@ func (ld *Loader) markCSSReady(r *resource) {
 
 // --- paint & load ---
 
+//repolint:hotpath
 func (ld *Loader) unitReady(i int, u *visualUnit) bool {
 	if ld.parsePos < u.offset {
 		return false
@@ -1067,6 +1083,7 @@ func (ld *Loader) unitReady(i int, u *visualUnit) bool {
 	return true
 }
 
+//repolint:hotpath
 func (ld *Loader) tryPaint() {
 	if ld.pp == nil || ld.pp.lay.totalATFArea == 0 {
 		return
@@ -1100,6 +1117,8 @@ func (ld *Loader) tryPaint() {
 
 // checkLoad fires onload when the document is parsed and every
 // discovered resource has finished loading and executing.
+//
+//repolint:hotpath
 func (ld *Loader) checkLoad() {
 	if ld.loadFired || !ld.parserDone {
 		return

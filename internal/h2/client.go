@@ -43,6 +43,8 @@ func (cs *ClientStream) Completed() bool { return cs.complete }
 func (cs *ClientStream) Cancel() { cs.St.Reset(ErrCodeCancel) }
 
 // Client wraps a client-side Core with request and push-handling helpers.
+//
+//repolint:pooled
 type Client struct {
 	Core *Core
 	// OnPush decides whether to accept a pushed stream; returning false

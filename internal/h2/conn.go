@@ -108,6 +108,9 @@ func (st *Stream) RecvdBodyBytes() int { return st.recvdBody }
 // The slice is retained, not copied: DATA frames reference it until sent,
 // so the caller must not mutate b after queueing (the testbed passes
 // immutable recorded response bodies).
+//
+//repolint:owns DATA frames reference the slice until sent
+//repolint:hotpath
 func (st *Stream) QueueData(b []byte) {
 	if len(b) > 0 {
 		st.outChunks = append(st.outChunks, b)
@@ -157,6 +160,8 @@ func (st *Stream) Paused() bool {
 }
 
 // Reset queues an RST_STREAM and closes the stream locally.
+//
+//repolint:notpooled protocol RST_STREAM; Core.Reset recycles stream structs wholesale
 func (st *Stream) Reset(code ErrCode) {
 	if st.State == StateClosed {
 		return
@@ -169,8 +174,10 @@ func (st *Stream) Reset(code ErrCode) {
 // embedding transport feeds received bytes via Recv and drains outgoing
 // bytes via PopWrite; all protocol callbacks fire synchronously inside
 // those calls.
+//
+//repolint:pooled
 type Core struct {
-	IsServer bool
+	IsServer bool //repolint:keep connection identity, fixed at NewCore; Reset rederives nextLocalID from it
 
 	henc *hpack.Encoder
 	hdec *hpack.Decoder
@@ -197,6 +204,11 @@ type Core struct {
 
 	Tree *PriorityTree
 
+	// sendableFn is the sendable method bound once at construction: the
+	// scheduler passes this field on every write, so the hot send path
+	// reads a cached funcval instead of materializing a method value.
+	sendableFn func(*Stream) bool //repolint:keep bound method value, cached at NewCore
+
 	// PushAtRoot, when true, attaches pushed streams at the tree root
 	// instead of as children of their parent stream (an ablation of the
 	// h2o default).
@@ -204,17 +216,17 @@ type Core struct {
 
 	ctrl       [][]byte // encoded control frames, FIFO (ctrlHead = first live)
 	ctrlHead   int
-	ctrlArena  []byte   // append-only arena the ctrl frames are encoded into
-	hdrArena   []byte   // append-only arena for DATA frame headers
-	popScratch [][]byte // reused chunk list for the PopWrite compat path
+	ctrlArena  []byte   //repolint:keep append-only encode arena; never rewound, stale blocks fall to the GC
+	hdrArena   []byte   //repolint:keep append-only DATA-header arena; never rewound
+	popScratch [][]byte //repolint:keep reused chunk list for the PopWrite compat path; overwritten per call
 
 	// Scratch frame structs for the hot control-frame paths: queueCtrl
 	// serializes the frame into the arena before returning, so one
 	// reusable struct per type is enough.
-	hfScratch  HeadersFrame
-	ppScratch  PushPromiseFrame
-	wuScratch  WindowUpdateFrame
-	setScratch SettingsFrame
+	hfScratch  HeadersFrame      //repolint:keep scratch frame, fully rewritten before each use
+	ppScratch  PushPromiseFrame  //repolint:keep scratch frame, fully rewritten before each use
+	wuScratch  WindowUpdateFrame //repolint:keep scratch frame, fully rewritten before each use
+	setScratch SettingsFrame     //repolint:keep scratch frame, fully rewritten before each use
 	started    bool
 	goingAway  bool
 	prefaceGot int // client preface bytes consumed (server side)
@@ -223,15 +235,15 @@ type Core struct {
 	cont *contState
 
 	// Callbacks. All may be nil.
-	OnHeaders     func(st *Stream, fields []hpack.HeaderField, endStream bool)
-	OnData        func(st *Stream, data []byte, endStream bool)
-	OnPushPromise func(parent, promised *Stream, fields []hpack.HeaderField)
-	OnRST         func(st *Stream, code ErrCode)
-	OnSettings    func(s Settings)
-	OnGoAway      func(f *GoAwayFrame)
-	OnConnError   func(err ConnError)
-	OnStreamSent  func(st *Stream) // local side finished sending st
-	OnWritable    func()           // data became available to send
+	OnHeaders     func(st *Stream, fields []hpack.HeaderField, endStream bool) //repolint:keep owned by the pooled Client/Server wrappers
+	OnData        func(st *Stream, data []byte, endStream bool)                //repolint:keep owned by the pooled Client/Server wrappers
+	OnPushPromise func(parent, promised *Stream, fields []hpack.HeaderField)   //repolint:keep owned by the pooled Client/Server wrappers
+	OnRST         func(st *Stream, code ErrCode)                               //repolint:keep owned by the pooled Client/Server wrappers
+	OnSettings    func(s Settings)                                             //repolint:keep owned by the pooled Client/Server wrappers
+	OnGoAway      func(f *GoAwayFrame)                                         //repolint:keep owned by the pooled Client/Server wrappers
+	OnConnError   func(err ConnError)                                          //repolint:keep owned by the pooled Client/Server wrappers
+	OnStreamSent  func(st *Stream)                                             //repolint:keep owned by the wrappers; fires when the local side finishes sending st
+	OnWritable    func()                                                       //repolint:keep owned by the wrappers; fires when data becomes available to send
 
 	// stats
 	FramesSent, FramesRecvd int64
@@ -263,6 +275,7 @@ func NewCore(isServer bool, local Settings) *Core {
 		recvWindow: DefaultInitialWindow,
 		Tree:       NewPriorityTree(),
 	}
+	c.sendableFn = c.sendable
 	c.hdec.SetAllowedMaxDynamicTableSize(local.HeaderTableSize)
 	if isServer {
 		c.nextLocalID = 2
@@ -335,6 +348,8 @@ func clearStreamSlice(s []*Stream) {
 const maxTrackedStreamID = 1 << 20
 
 // getStream returns the stream with id, nil when unknown (or id 0).
+//
+//repolint:hotpath
 func (c *Core) getStream(id uint32) *Stream {
 	if id == 0 {
 		return nil
@@ -353,6 +368,8 @@ func (c *Core) getStream(id uint32) *Stream {
 
 // setStream installs st in its dense table slot, growing the table to
 // cover the index.
+//
+//repolint:hotpath
 func (c *Core) setStream(st *Stream) {
 	tab := &c.evenStreams
 	i := int(st.ID)/2 - 1
@@ -430,6 +447,7 @@ func (c *Core) Stream(id uint32) *Stream { return c.getStream(id) }
 // NumStreams returns the number of non-closed streams.
 func (c *Core) NumStreams() int { return c.numStreams }
 
+//repolint:hotpath
 func (c *Core) wake() {
 	if c.OnWritable != nil {
 		c.OnWritable()
@@ -448,6 +466,8 @@ var prefaceChunk = []byte(ClientPreface)
 // rewound, so queued frames stay valid while the transport references
 // them; when an append outgrows the current block the slice reallocates
 // and the old block is left to the GC once its frames are consumed.
+//
+//repolint:hotpath
 func (c *Core) queueCtrl(f Frame) {
 	const ctrlBlock = 4096
 	if cap(c.ctrlArena)-len(c.ctrlArena) < 256 {
@@ -459,10 +479,13 @@ func (c *Core) queueCtrl(f Frame) {
 	c.wake()
 }
 
+//repolint:owns queued ctrl bytes ride c.ctrl until popCtrl hands them to the transport
+//repolint:hotpath
 func (c *Core) pushCtrl(b []byte) {
 	c.ctrl = append(c.ctrl, b)
 }
 
+//repolint:hotpath
 func (c *Core) popCtrl() []byte {
 	b := c.ctrl[c.ctrlHead]
 	c.ctrl[c.ctrlHead] = nil
@@ -477,6 +500,8 @@ func (c *Core) ctrlPending() bool { return c.ctrlHead < len(c.ctrl) }
 
 // queueWindowUpdate queues a WINDOW_UPDATE through the scratch struct
 // (the flow-control hot path).
+//
+//repolint:hotpath
 func (c *Core) queueWindowUpdate(streamID, inc uint32) {
 	c.wuScratch = WindowUpdateFrame{StreamID: streamID, Increment: inc}
 	c.queueCtrl(&c.wuScratch)
@@ -586,6 +611,8 @@ func (c *Core) StartRequestPre(fields []hpack.HeaderField, pe *hpack.PreEncoded,
 }
 
 // queueHeaderBlock splits an oversize header block into CONTINUATIONs.
+//
+//repolint:owns the block rides the queued frames until written
 func (c *Core) queueHeaderBlock(hf *HeadersFrame, block []byte) {
 	maxFS := int(c.peer.MaxFrameSize)
 	overhead := 0
@@ -698,6 +725,9 @@ func (c *Core) PushPre(parent *Stream, reqFields []hpack.HeaderField, pe *hpack.
 // by the frame reader until parsed (zero-copy), so the caller must not
 // mutate it after the call; callbacks that want to keep payload bytes
 // must copy them (frame payloads are only valid during the callback).
+//
+//repolint:owns fed to the zero-copy frame reader, which aliases it until parsed
+//repolint:hotpath
 func (c *Core) Recv(b []byte) {
 	if c.goingAway {
 		return
@@ -986,6 +1016,7 @@ func (c *Core) finishPushPromise(parentID, promisedID uint32, block []byte) {
 	}
 }
 
+//repolint:hotpath
 func (c *Core) handleData(f *DataFrame) {
 	st := c.getStream(f.StreamID)
 	n := int64(len(f.Data))
@@ -1034,6 +1065,7 @@ func (c *Core) peerClosed(st *Stream) {
 	}
 }
 
+//repolint:hotpath
 func (c *Core) handleWindowUpdate(f *WindowUpdateFrame) {
 	if f.StreamID == 0 {
 		c.sendWindow += int64(f.Increment)
@@ -1061,6 +1093,8 @@ func (c *Core) streamError(id uint32, code ErrCode) {
 // --- send path ---
 
 // sendable reports whether st has DATA it is allowed to send now.
+//
+//repolint:hotpath
 func (c *Core) sendable(st *Stream) bool {
 	if st.State == StateClosed || st.State == StateReservedLocal || !st.headersSent {
 		return false
@@ -1087,11 +1121,13 @@ func (st *Stream) outDone() bool {
 }
 
 // HasPending reports whether PopWrite would produce bytes.
+//
+//repolint:hotpath
 func (c *Core) HasPending() bool {
 	if c.ctrlPending() {
 		return true
 	}
-	return c.Tree.Next(c.sendable) != nil
+	return c.Tree.Next(c.sendableFn) != nil
 }
 
 // arenaHeader encodes a frame header into the connection's append-only
@@ -1099,6 +1135,8 @@ func (c *Core) HasPending() bool {
 // are never rewound or reused, so the returned slice stays valid for as
 // long as the transport references it; exhausted blocks are simply
 // dropped for the GC once all their headers are consumed.
+//
+//repolint:hotpath
 func (c *Core) arenaHeader(length int, t FrameType, flags Flags, streamID uint32) []byte {
 	const arenaBlock = 4096
 	if cap(c.hdrArena)-len(c.hdrArena) < frameHeaderLen {
@@ -1119,13 +1157,15 @@ func (c *Core) arenaHeader(length int, t FrameType, flags Flags, streamID uint32
 //
 // The returned slices are owned by the connection until the transport has
 // consumed them; the chunks container itself may be reused by the caller.
+//
+//repolint:hotpath
 func (c *Core) AppendWrite(chunks [][]byte, max int) [][]byte {
 	if c.ctrlPending() {
 		out := c.popCtrl()
 		c.FramesSent++
 		return append(chunks, out)
 	}
-	st := c.Tree.Next(c.sendable)
+	st := c.Tree.Next(c.sendableFn)
 	if st == nil {
 		return chunks
 	}

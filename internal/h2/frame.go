@@ -390,31 +390,33 @@ var emptyPayload = []byte{}
 // Consequently a returned Frame (and any payload slice it carries) is
 // only valid until the next call to Next or Feed — consumers must copy
 // what they retain.
+//
+//repolint:pooled
 type FrameReader struct {
-	MaxFrameSize int // zero means DefaultMaxFrameSize
+	MaxFrameSize int //repolint:keep configuration, set by the owning transport; zero means DefaultMaxFrameSize
 
 	chunks   [][]byte // fed transport chunks; chunks[head][off:] is next
 	head     int
 	off      int
 	buffered int
 
-	hdr     [frameHeaderLen]byte
-	scratch []byte // reassembly buffer for payloads spanning chunks
+	hdr     [frameHeaderLen]byte //repolint:keep scratch header bytes, rewritten by peekHeader
+	scratch []byte               //repolint:keep reassembly buffer for payloads spanning chunks; rewritten per use
 
 	// Reused frame structs, one per type: the returned-frame validity
 	// contract above (valid until the next Next/Feed) means no caller may
 	// retain one, so each parse fills the previous instance in place
 	// instead of allocating.
-	data     DataFrame
-	headers  HeadersFrame
-	prio     PriorityFrame
-	rst      RSTStreamFrame
-	settings SettingsFrame
-	pp       PushPromiseFrame
-	ping     PingFrame
-	goaway   GoAwayFrame
-	wu       WindowUpdateFrame
-	contf    ContinuationFrame
+	data     DataFrame         //repolint:keep reused frame struct, filled in place per parse
+	headers  HeadersFrame      //repolint:keep reused frame struct, filled in place per parse
+	prio     PriorityFrame     //repolint:keep reused frame struct, filled in place per parse
+	rst      RSTStreamFrame    //repolint:keep reused frame struct, filled in place per parse
+	settings SettingsFrame     //repolint:keep reused frame struct, filled in place per parse
+	pp       PushPromiseFrame  //repolint:keep reused frame struct, filled in place per parse
+	ping     PingFrame         //repolint:keep reused frame struct, filled in place per parse
+	goaway   GoAwayFrame       //repolint:keep reused frame struct, filled in place per parse
+	wu       WindowUpdateFrame //repolint:keep reused frame struct, filled in place per parse
+	contf    ContinuationFrame //repolint:keep reused frame struct, filled in place per parse
 }
 
 // Reset discards all buffered bytes and re-arms the reader for a new
@@ -429,6 +431,9 @@ func (r *FrameReader) Reset() {
 
 // Feed hands transport bytes to the reader. The slice is retained (not
 // copied) until consumed; see the type comment for the ownership rule.
+//
+//repolint:owns zero-copy: the reader aliases the chunk until consumed
+//repolint:hotpath
 func (r *FrameReader) Feed(b []byte) {
 	if len(b) == 0 {
 		return
@@ -442,6 +447,8 @@ func (r *FrameReader) Buffered() int { return r.buffered }
 
 // peekHeader copies the next frameHeaderLen bytes into r.hdr without
 // consuming them. The caller guarantees buffered >= frameHeaderLen.
+//
+//repolint:hotpath
 func (r *FrameReader) peekHeader() {
 	i, off, n := r.head, r.off, 0
 	for n < frameHeaderLen {
@@ -453,6 +460,8 @@ func (r *FrameReader) peekHeader() {
 
 // consume advances past n buffered bytes. The caller guarantees
 // buffered >= n.
+//
+//repolint:hotpath
 func (r *FrameReader) consume(n int) {
 	r.buffered -= n
 	for n > 0 {
@@ -483,6 +492,8 @@ func (r *FrameReader) consume(n int) {
 // take consumes n bytes and returns them contiguously: a zero-copy
 // subslice when they lie within one chunk, otherwise the reused scratch
 // buffer. The caller guarantees buffered >= n.
+//
+//repolint:hotpath
 func (r *FrameReader) take(n int) []byte {
 	if n == 0 {
 		return emptyPayload
@@ -509,6 +520,8 @@ func (r *FrameReader) take(n int) []byte {
 // Next decodes the next complete frame, returning nil when more bytes are
 // needed. Frames of unknown type are skipped, per RFC 7540 Section 4.1.
 // The returned frame is valid until the next call to Next or Feed.
+//
+//repolint:hotpath
 func (r *FrameReader) Next() (Frame, error) {
 	for {
 		if r.buffered < frameHeaderLen {
@@ -576,6 +589,8 @@ func parseFrame(typ FrameType, flags Flags, streamID uint32, p []byte) (Frame, e
 
 // parseInto decodes one frame into the reader's reused frame structs;
 // the result is valid until the reader parses its next frame.
+//
+//repolint:owns decoded frames alias p until the next Next/Feed
 func (r *FrameReader) parseInto(typ FrameType, flags Flags, streamID uint32, p []byte) (Frame, error) {
 	switch typ {
 	case FrameData:

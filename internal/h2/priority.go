@@ -15,6 +15,8 @@ package h2
 // as Core's stream tables ((id-1)/2 for odd IDs, id/2-1 for even), so
 // the per-frame node lookup is a slice index instead of a map probe, and
 // removed nodes are recycled through a free list.
+//
+//repolint:pooled
 type PriorityTree struct {
 	oddNodes  []*prioNode
 	evenNodes []*prioNode

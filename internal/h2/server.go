@@ -62,6 +62,8 @@ func ParseRequest(fields []hpack.HeaderField) (Request, error) {
 
 // Server wraps a server-side Core with request dispatch and response /
 // push helpers. It is transport-agnostic.
+//
+//repolint:pooled
 type Server struct {
 	Core *Core
 	// Handler is invoked when a request's headers are complete. Bodies on
@@ -70,6 +72,8 @@ type Server struct {
 
 	// fscratch is the reused response header list (encoded before Respond
 	// returns, so one scratch per connection suffices).
+	//
+	//repolint:keep reused scratch; Respond rebuilds it from length zero each call
 	fscratch []hpack.HeaderField
 	// issued/free recycle ServerStream wrappers across connections on a
 	// pooled server (see Reset).

@@ -5,6 +5,8 @@ import "fmt"
 // Encoder compresses header lists into HPACK header blocks. An Encoder is
 // stateful (dynamic table) and must be paired with exactly one Decoder on
 // the remote side, in connection order.
+//
+//repolint:pooled
 type Encoder struct {
 	dt dynamicTable
 	// pendingMaxSize holds a table-size reduction that must be signalled
@@ -16,6 +18,8 @@ type Encoder struct {
 	// makes statically pre-encoded blocks valid at any connection point.
 	DisableIndexing bool
 	// buf is the reused output buffer; see EncodeBlock.
+	//
+	//repolint:keep rewritten from length zero by every EncodeBlock
 	buf []byte
 	// blocks counts header blocks emitted (EncodeBlock or
 	// ApplyPreEncoded) since construction/Reset; pre-encoded sequences
@@ -128,6 +132,8 @@ func (e *Encoder) bestNameIndex(name string) int {
 func (e *Encoder) DynamicTableSize() uint32 { return e.dt.size }
 
 // Decoder decompresses HPACK header blocks.
+//
+//repolint:pooled
 type Decoder struct {
 	dt dynamicTable
 	// MaxStringLength bounds individual decoded strings; zero means the
@@ -138,12 +144,18 @@ type Decoder struct {
 	maxAllowed uint32
 
 	// fields is the reused DecodeBlock output; see DecodeBlock.
+	//
+	//repolint:keep rewritten from length zero by every DecodeBlock
 	fields []HeaderField
 	// strs interns decoded string literals: replayed traffic repeats the
 	// same authorities, paths and content types on every request, so the
 	// steady state decodes without allocating. Bounded by maxInterned.
+	//
+	//repolint:keep interned strings are immutable; sharing them across connections changes no output
 	strs map[string]string
 	// hscratch is the reused Huffman decode buffer.
+	//
+	//repolint:keep scratch, rewritten per Huffman-decoded string
 	hscratch []byte
 }
 

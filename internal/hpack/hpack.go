@@ -39,12 +39,14 @@ var ErrDecode = errors.New("hpack: decoding error")
 // reallocates the existing ones (the old prepend idiom allocated a
 // fresh slice per insertion, which dominated the warm-run profile).
 // Logical entry 1 is the newest (absolute HPACK index 62).
+//
+//repolint:pooled
 type dynamicTable struct {
 	ents    []HeaderField // ring storage; entry i (1-based) lives at (head+i-1)%len
 	head    int           // storage index of the newest entry
 	n       int           // live entries
 	size    uint32
-	maxSize uint32
+	maxSize uint32 //repolint:keep managed by setMaxSize; the codec Resets restore the default explicitly
 }
 
 func (dt *dynamicTable) setMaxSize(m uint32) {

@@ -122,8 +122,10 @@ type pendingRelease struct {
 
 // pipe is one direction of the shared access link: a FIFO queue serving at
 // a fixed rate followed by fixed propagation delay.
+//
+//repolint:pooled
 type pipe struct {
-	s         *sim.Sim
+	s         *sim.Sim //repolint:keep bound at New; the owning Sim is Reset in place
 	rate      Rate
 	prop      time.Duration
 	limit     int
@@ -145,6 +147,8 @@ type pipe struct {
 // model has no ACK-loss recovery (real TCP tolerates ACK loss through
 // cumulative ACKs, which a unidirectional event model cannot reproduce
 // faithfully).
+//
+//repolint:hotpath
 func (p *pipe) admit(size int, force bool) (time.Duration, bool) {
 	p.releaseExpired()
 	if !force && p.limit > 0 && p.queued+size > p.limit {
@@ -166,6 +170,8 @@ func (p *pipe) admit(size int, force bool) (time.Duration, bool) {
 // releaseExpired applies queue releases whose (virtual) event would have
 // fired before the event currently executing. Releases are FIFO: admission
 // times are monotone per pipe, so a single head index suffices.
+//
+//repolint:hotpath
 func (p *pipe) releaseExpired() {
 	now, cur := p.s.Now(), p.s.CurrentSeq()
 	for p.phead < len(p.pending) {
@@ -189,14 +195,16 @@ func (p *pipe) releaseExpired() {
 
 // Network is the emulated access network shared by all connections of one
 // page load: one downlink pipe, one uplink pipe.
+//
+//repolint:pooled
 type Network struct {
-	Sim  *sim.Sim
+	Sim  *sim.Sim //repolint:keep bound at New; the owning Sim is Reset in place
 	Prof Profile
 	down *pipe
 	up   *pipe
 
 	nextConnID int
-	segFree    []*segment
+	segFree    []*segment //repolint:keep recycled segment free list; putSeg scrubs entries
 }
 
 // New builds a Network on the given simulator. It panics on an invalid
@@ -346,6 +354,12 @@ type halfConn struct {
 	rtt      time.Duration
 }
 
+// enqueue appends a writer-owned chunk to the send buffer. Ownership of
+// b transfers to the transport here (the package's zero-copy contract):
+// pump carves segments out of it and receivers see subslices of it.
+//
+//repolint:owns
+//repolint:hotpath
 func (h *halfConn) enqueue(b []byte) {
 	h.chunks = append(h.chunks, b)
 	h.buffered += len(b)
@@ -368,6 +382,8 @@ func (h *halfConn) writev(bs [][]byte) {
 // pump admits as many segments as the congestion window allows, carving
 // zero-copy subslices off the chunk queue. A closed connection admits
 // nothing more: in-flight segments drain, buffered bytes are abandoned.
+//
+//repolint:hotpath
 func (h *halfConn) pump() {
 	for !h.closed && h.buffered > 0 && h.inflight < int(h.cwnd*float64(h.mss)) {
 		n := h.mss
@@ -415,6 +431,7 @@ func (h *halfConn) pump() {
 	h.maybeDrain()
 }
 
+//repolint:hotpath
 func (h *halfConn) maybeDrain() {
 	if h.onDrain != nil && h.buffered == 0 {
 		// Drain fires when the application buffer is empty: all pending
@@ -427,6 +444,8 @@ func (h *halfConn) maybeDrain() {
 
 // callFunc invokes a func() passed as the event argument; it lets Post-like
 // notifications ride the pooled event path without a per-event closure.
+//
+//repolint:hotpath
 func callFunc(arg any) { arg.(func())() }
 
 func (h *halfConn) sendSegment(seg *segment) {
@@ -488,6 +507,8 @@ func (h *halfConn) closeHalf() {
 }
 
 // deliverSegment is the (pooled) delivery event for a data segment.
+//
+//repolint:hotpath
 func deliverSegment(arg any) {
 	seg := arg.(*segment)
 	h := seg.h
@@ -496,6 +517,8 @@ func deliverSegment(arg any) {
 }
 
 // onSegmentArrive reassembles the in-order byte stream at the receiver.
+//
+//repolint:hotpath
 func (h *halfConn) onSegmentArrive(seg *segment) {
 	switch {
 	case seg.seq == h.expectSeq:
@@ -530,6 +553,7 @@ func (h *halfConn) onSegmentArrive(seg *segment) {
 	h.s.AtCall(at, deliverAck, seg)
 }
 
+//repolint:hotpath
 func (h *halfConn) deliver(seg *segment) {
 	if recv := h.peerRecv(); recv != nil {
 		for _, part := range seg.parts {
@@ -542,6 +566,8 @@ func (h *halfConn) deliver(seg *segment) {
 
 // deliverAck is the (pooled) ACK event; it reuses the segment struct that
 // carried the delivery.
+//
+//repolint:hotpath
 func deliverAck(arg any) {
 	seg := arg.(*segment)
 	h := seg.h
@@ -552,12 +578,14 @@ func deliverAck(arg any) {
 	h.onAck(n)
 }
 
+//repolint:hotpath
 func (h *halfConn) maybeFree(seg *segment) {
 	if seg.delivered && seg.ackDone {
 		h.net.putSeg(seg)
 	}
 }
 
+//repolint:hotpath
 func (h *halfConn) onAck(n int) {
 	h.acked += int64(n)
 	h.inflight -= n

@@ -14,6 +14,8 @@ import (
 // executes the push plan. One Farm serves exactly one simulated browser
 // session (the testbed builds a fresh Farm per run, or resets a pooled
 // one).
+//
+//repolint:pooled
 type Farm struct {
 	S        *sim.Sim
 	Net      *netem.Network
@@ -52,14 +54,21 @@ type Farm struct {
 	srvActive []*serverBundle
 
 	// criticalIDs is the reused per-serve interleave gate list.
-	criticalIDs []uint32
+	criticalIDs []uint32 //repolint:keep per-serve scratch, truncated to zero length at each use
 	// pending is the reused per-serve pushed-stream list.
-	pending []pendingPush
+	pending []pendingPush //repolint:keep per-serve scratch, truncated to zero length at each use
 }
 
+//repolint:pooled
 type serverBundle struct {
 	srv *h2.Server
-	ep  *h2.SimEndpoint
+	ep  *h2.SimEndpoint //repolint:keep re-attached to a fresh transport end on Dial
+}
+
+// reset re-arms a pooled bundle's server for a new connection; the
+// endpoint is rewired by Attach when the farm next dials.
+func (b *serverBundle) reset(s h2.Settings, handler func(sw *h2.ServerStream, req h2.Request)) {
+	b.srv.Reset(s, handler)
 }
 
 type pendingPush struct {
@@ -109,14 +118,15 @@ func NewFarm(s *sim.Sim, net *netem.Network, site *Site, plan Plan) *Farm {
 }
 
 // Reset re-arms the farm for a new run, exactly as NewFarm would
-// configure it: fresh stats, default settings, zero think time. The
-// per-connection servers it spawned last run are recycled into the
-// farm's pool (the previous simulator run is over, so nothing still
-// references their transports).
+// configure it: fresh stats, default settings, zero think time,
+// pre-encoding enabled. The per-connection servers it spawned last run
+// are recycled into the farm's pool (the previous simulator run is
+// over, so nothing still references their transports).
 func (f *Farm) Reset(s *sim.Sim, net *netem.Network, site *Site, plan Plan) {
 	f.S, f.Net, f.Site, f.Plan = s, net, site, plan
 	f.Settings = h2.DefaultSettings()
 	f.ThinkTime = 0
+	f.NoPreEncode = false
 	f.BytesPushed, f.PushCount, f.RequestCount = 0, 0, 0
 	if f.handler == nil {
 		f.handler = f.dispatch
@@ -272,13 +282,14 @@ func (f *Farm) Dial(host string, ready func(clientEnd *netem.End)) {
 	})
 }
 
+//repolint:hotpath
 func (f *Farm) getServer() *serverBundle {
 	var b *serverBundle
 	if n := len(f.srvPool); n > 0 {
 		b = f.srvPool[n-1]
 		f.srvPool[n-1] = nil
 		f.srvPool = f.srvPool[:n-1]
-		b.srv.Reset(f.Settings, f.handler)
+		b.reset(f.Settings, f.handler)
 	} else {
 		b = &serverBundle{srv: h2.NewServer(f.Settings, f.handler), ep: &h2.SimEndpoint{}}
 	}
@@ -295,6 +306,7 @@ func (f *Farm) dispatch(sw *h2.ServerStream, req h2.Request) {
 	f.serve(sw, req)
 }
 
+//repolint:hotpath
 func (f *Farm) serve(sw *h2.ServerStream, req h2.Request) {
 	entry := f.Site.DB.Lookup(req.Authority, req.Path)
 	if entry == nil {

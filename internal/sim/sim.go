@@ -25,9 +25,11 @@ import (
 )
 
 // Event is a scheduled callback. It is owned by the Sim that created it.
+//
+//repolint:pooled
 type Event struct {
-	at  time.Duration
-	seq uint64
+	at  time.Duration //repolint:keep overwritten by At/AtCall when the event is reused
+	seq uint64        //repolint:keep overwritten by At/AtCall when the event is reused
 	fn  func()
 
 	// Pooled (AtCall) events carry a static callback + argument instead
@@ -36,8 +38,16 @@ type Event struct {
 	arg    any
 	pooled bool
 
-	s     *Sim
-	index int // heap index, -1 when not queued
+	s     *Sim //repolint:keep rebound by pushEvent; never read while free
+	index int  // heap index, -1 when not queued
+}
+
+// reset clears the callback state so a recycled Event pins nothing for
+// the garbage collector; the scheduling fields (at, seq, s) are
+// overwritten wholesale when the event is reused.
+func (e *Event) reset() {
+	e.fn, e.cb, e.arg, e.pooled = nil, nil, nil, false
+	e.index = -1
 }
 
 // At returns the virtual time the event is scheduled for.
@@ -68,12 +78,14 @@ func eventLess(a, b *Event) bool {
 	return a.seq < b.seq
 }
 
+//repolint:hotpath
 func (s *Sim) pushEvent(e *Event) {
 	s.queue = append(s.queue, e)
 	e.index = len(s.queue) - 1
 	s.siftUp(e.index)
 }
 
+//repolint:hotpath
 func (s *Sim) popEvent() *Event {
 	q := s.queue
 	last := len(q) - 1
@@ -105,6 +117,7 @@ func (s *Sim) removeEvent(i int) {
 	e.index = -1
 }
 
+//repolint:hotpath
 func (s *Sim) siftUp(i int) {
 	q := s.queue
 	e := q[i]
@@ -123,6 +136,8 @@ func (s *Sim) siftUp(i int) {
 
 // siftDown restores the heap below i and reports whether the event
 // moved (Cancel uses that to decide whether to sift up instead).
+//
+//repolint:hotpath
 func (s *Sim) siftDown(i int) bool {
 	q := s.queue
 	n := len(q)
@@ -154,14 +169,16 @@ func (s *Sim) siftDown(i int) bool {
 
 // Sim is a discrete-event simulator with a virtual clock.
 // The zero value is not usable; construct with New.
+//
+//repolint:pooled
 type Sim struct {
 	now     time.Duration
 	queue   eventHeap
 	seq     uint64
 	curSeq  uint64
-	rng     *rand.Rand
+	rng     *rand.Rand //repolint:keep wraps src, which Reset reseeds in place
 	src     rand.Source
-	running bool
+	running bool     //repolint:keep Reset panics mid-Run, so this is always false when it returns
 	free    []*Event // recycled AtCall events
 	// Limit bounds the number of events processed by Run as a runaway
 	// guard. Zero means the default of 50 million events.
@@ -187,9 +204,9 @@ func (s *Sim) Reset(seed int64) {
 		panic("sim: Reset called while running")
 	}
 	for _, e := range s.queue {
-		e.fn, e.cb, e.arg, e.index = nil, nil, nil, -1
-		if e.pooled {
-			e.pooled = false
+		pooled := e.pooled
+		e.reset()
+		if pooled {
 			s.free = append(s.free, e)
 		}
 	}
@@ -222,6 +239,8 @@ func (s *Sim) At(t time.Duration, fn func()) *Event {
 // is pooled: hot-path schedulers use it with a static callback so a
 // scheduled event costs zero heap allocations. arg should be a pointer
 // (or other pointer-shaped value) to stay allocation-free.
+//
+//repolint:hotpath
 func (s *Sim) AtCall(t time.Duration, cb func(any), arg any) {
 	if t < s.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
@@ -273,6 +292,8 @@ func (s *Sim) CurrentSeq() uint64 { return s.curSeq }
 
 // Step executes the single next event, advancing the clock.
 // It returns false when the queue is empty.
+//
+//repolint:hotpath
 func (s *Sim) Step() bool {
 	if len(s.queue) == 0 {
 		return false
@@ -282,7 +303,7 @@ func (s *Sim) Step() bool {
 	s.curSeq = e.seq
 	if e.pooled {
 		cb, arg := e.cb, e.arg
-		e.fn, e.cb, e.arg, e.pooled = nil, nil, nil, false
+		e.reset()
 		s.free = append(s.free, e)
 		cb(arg)
 	} else {

@@ -16,7 +16,7 @@
 # record, and the JSON carries gomaxprocs/num_cpu so a 1-core container
 # run (where Jobs>1 cannot show wall-clock speedup) is machine-readable.
 set -euo pipefail
-cd "$(dirname "$0")/.."
+cd "$(dirname "$0")/.." || exit 1
 
 mode="${1:-full}"
 out="${2:-BENCH_pr5.json}"

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# lint.sh — the repository's lint gate: formatting, vet, and the
+# repolint contract analyzers (see doc.go, "Machine-checked contracts").
+#
+# Usage: scripts/lint.sh
+#
+# Everything here runs from the standard toolchain plus this repo's own
+# cmd/repolint; no tool needs to be installed. CI runs this script as
+# its lint step, and staticcheck/govulncheck separately (those do need
+# network access to install).
+set -euo pipefail
+cd "$(dirname "$0")/.." || exit 1
+
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
+echo "== go vet"
+go vet ./...
+
+echo "== repolint"
+go run ./cmd/repolint ./...
+
+echo "lint clean"
