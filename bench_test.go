@@ -9,6 +9,7 @@ package repro
 // Run:  go test -bench=. -benchmem
 
 import (
+	"runtime"
 	"strconv"
 	"strings"
 	"testing"
@@ -153,7 +154,7 @@ func BenchmarkFig4Synthetic(b *testing.B) {
 func BenchmarkFig5Interleaving(b *testing.B) {
 	var tab *core.Table
 	for i := 0; i < b.N; i++ {
-		tab = core.Fig5Interleaving(3, 1, 0)
+		tab = core.Fig5Interleaving(3, 1, 0, false)
 	}
 	b.ReportMetric(numCell(b, tab, 0, 1), "nopush_si_ms_10kb")
 	b.ReportMetric(numCell(b, tab, 8, 1), "nopush_si_ms_90kb")
@@ -181,6 +182,20 @@ func BenchmarkFig6Interleaving(b *testing.B) {
 	report("w2", "push critical optimized", "w2_crit_opt_dsi_pct")
 	report("w16", "push critical optimized", "w16_crit_opt_dsi_pct")
 	report("w7", "push critical optimized", "w7_crit_opt_dsi_pct")
+}
+
+// BenchmarkScenarioSweepNoFork is the ablation twin of
+// BenchmarkScenarioSweep with fork-at-divergence checkpoint reuse
+// disabled: the gap between the two is the measured value of replaying
+// the shared prefix from a snapshot instead of re-simulating it.
+func BenchmarkScenarioSweepNoFork(b *testing.B) {
+	sc := core.ExperimentScale{Sites: 2, Runs: 3, Seed: 1, Jobs: 0, NoFork: true}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.ScenarioSweepNames([]string{"dsl", "satellite"}, sc); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkScenarioSweep regenerates the cross-scenario strategy
@@ -349,6 +364,9 @@ func BenchmarkEngineParallel(b *testing.B) {
 func BenchmarkEngineParallelJobs(b *testing.B) {
 	for _, jobs := range []int{1, 2, 4, 8} {
 		b.Run("Jobs="+strconv.Itoa(jobs), func(b *testing.B) {
+			if jobs > 1 && runtime.NumCPU() == 1 {
+				b.Skip("single-CPU machine: a multi-worker pool only adds scheduling overhead, so its numbers would misread as an engine regression")
+			}
 			sc := benchScale()
 			sc.Jobs = jobs
 			b.ReportAllocs()

@@ -54,6 +54,8 @@ func run() int {
 	nsites := flag.Int("nsites", 0, "override sites per set")
 	popN := flag.Int("population", 200_000, "population size for fig1")
 	jobs := flag.Int("jobs", 0, "worker-pool size (0 = GOMAXPROCS, 1 = sequential); output is identical for any value")
+	noFork := flag.Bool("nofork", false, "disable fork-at-divergence checkpoint reuse (ablation; output is identical either way)")
+	forkStats := flag.Bool("forkstats", false, "print fork checkpoint effectiveness to stderr after the run")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile taken after the experiment run to this file")
 	flag.Parse()
@@ -97,6 +99,7 @@ func run() int {
 		scale.Sites = *nsites
 	}
 	scale.Jobs = *jobs
+	scale.NoFork = *noFork
 	var fig6Sites []string
 	if *sitesFlag != "" {
 		fig6Sites = strings.Split(*sitesFlag, ",")
@@ -118,15 +121,17 @@ func run() int {
 
 	one := func(t *core.Table) ([]*core.Table, error) { return []*core.Table{t}, nil }
 	experiments := map[string]func() ([]*core.Table, error){
-		"fig1":      func() ([]*core.Table, error) { return one(core.Fig1Adoption(*popN, scale.Seed)) },
-		"fig2a":     func() ([]*core.Table, error) { return one(core.Fig2aVariability(scale)) },
-		"fig2b":     func() ([]*core.Table, error) { return one(core.Fig2bPushVsNoPush(scale)) },
-		"pushable":  func() ([]*core.Table, error) { return one(core.PushableObjects(scale)) },
-		"fig3a":     func() ([]*core.Table, error) { return one(core.Fig3aPushAll(scale)) },
-		"fig3b":     func() ([]*core.Table, error) { return one(core.Fig3bPushAmount(scale)) },
-		"types":     func() ([]*core.Table, error) { return one(core.PushByTypeAnalysis(scale)) },
-		"fig4":      func() ([]*core.Table, error) { return one(core.Fig4Synthetic(scale)) },
-		"fig5":      func() ([]*core.Table, error) { return one(core.Fig5Interleaving(scale.Runs, scale.Seed, scale.Jobs)) },
+		"fig1":     func() ([]*core.Table, error) { return one(core.Fig1Adoption(*popN, scale.Seed)) },
+		"fig2a":    func() ([]*core.Table, error) { return one(core.Fig2aVariability(scale)) },
+		"fig2b":    func() ([]*core.Table, error) { return one(core.Fig2bPushVsNoPush(scale)) },
+		"pushable": func() ([]*core.Table, error) { return one(core.PushableObjects(scale)) },
+		"fig3a":    func() ([]*core.Table, error) { return one(core.Fig3aPushAll(scale)) },
+		"fig3b":    func() ([]*core.Table, error) { return one(core.Fig3bPushAmount(scale)) },
+		"types":    func() ([]*core.Table, error) { return one(core.PushByTypeAnalysis(scale)) },
+		"fig4":     func() ([]*core.Table, error) { return one(core.Fig4Synthetic(scale)) },
+		"fig5": func() ([]*core.Table, error) {
+			return one(core.Fig5Interleaving(scale.Runs, scale.Seed, scale.Jobs, scale.NoFork))
+		},
 		"fig6":      func() ([]*core.Table, error) { return one(core.Fig6Popular(fig6Sites, scale)) },
 		"scenarios": func() ([]*core.Table, error) { return core.ScenarioSweep(scenarios, scale) },
 	}
@@ -148,6 +153,13 @@ func run() int {
 		for _, t := range tabs {
 			t.Print(os.Stdout)
 		}
+	}
+	if *forkStats {
+		// Stats go to stderr so table output stays byte-comparable
+		// between -nofork and default runs.
+		fs := core.ReadForkStats()
+		fmt.Fprintf(os.Stderr, "fork: prefixes=%d hits=%d fallbacks=%d cold=%d bypassed=%d hit-rate=%.1f%% snapshot-bytes=%d\n",
+			fs.Prefixes, fs.Hits, fs.Fallbacks, fs.Cold, fs.Bypassed, fs.HitRate()*100, fs.SnapshotBytes)
 	}
 	return 0
 }

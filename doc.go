@@ -88,6 +88,47 @@
 // pooled on the run context's loader and farm and fully Reset between
 // runs.
 //
+// # Fork-at-divergence checkpoints
+//
+// Strategy sweeps re-run the same (site, scenario, run) triple once per
+// strategy, and every one of those runs simulates an identical prefix —
+// dial, TLS-free handshake, first request — before anything consults
+// the push plan. The engine runs that prefix once, snapshots the full
+// simulation state at the divergence point (the instant the server
+// would first consult its plan), and rewinds later runs from the
+// snapshot (internal/core fork.go; the per-layer Snapshot/Restore pairs
+// live next to the types they capture: sim, netem, hpack, h2, replay,
+// browser).
+//
+// The checkpoint ownership contract extends the run-context rules. A
+// snapshot owns its buffers — slices are deep-copied append-into-scratch
+// and reused across captures — but the object pointers it holds
+// (events, connections, streams, resources, priority nodes) are aliases
+// into the capturing RunContext's pooled object graph. Restore rewrites
+// those structs in place rather than allocating replacements, which is
+// what keeps closures and handles created during the prefix valid after
+// a rewind; objects created after the capture are simply dropped for
+// the collector, and pool free lists are rebuilt from the snapshot with
+// their contents re-scrubbed (an object free at capture may have been
+// reused since). Two consequences: a checkpoint is only meaningful on
+// the RunContext that captured it (the cache is per-context and never
+// crosses goroutines), and a snapshot's arena lives exactly as long as
+// its cache slot — eviction reuses the buffers for the next capture.
+//
+// Eligibility and fallback are conservative. Runs whose site is itself
+// a per-run realisation (third-party variability) bypass the cache up
+// front; a first encounter of a cache key runs plain and only marks the
+// key, so one-shot keys (strategies that rewrite the site produce a
+// fresh key per Apply) never pay for a snapshot; and if an armed
+// checkpoint is never reached — the run ends before the first server
+// dispatch — the run falls back to the plain full-simulation path. A
+// checkpoint captured after zero RNG draws serves any seed (Restore
+// rewinds the generator, ReseedRand re-points it); a prefix that
+// consumed draws serves only its own seed. Output is byte-identical
+// with forking on or off: Testbed.NoFork and pushbench -nofork exist
+// for ablation, goldens pin both paths, and TestForkMatchesFresh hashes
+// full per-strategy traces against fresh simulations.
+//
 // # Machine-checked contracts (repolint)
 //
 // The engine invariants described above are not just prose: cmd/repolint
@@ -105,10 +146,15 @@
 //
 //	pooled reuse leaks nothing: every       resetcomplete  //repolint:pooled (on the type)
 //	//repolint:pooled type's Reset covers                  //repolint:keep <reason> (field
-//	every field, directly or through the                     deliberately survives Reset)
-//	methods it calls; a Reset method on                    //repolint:notpooled <reason>
-//	an unannotated type must declare                         (protocol Reset, not pooling)
-//	itself either way
+//	every field, directly or through the                     deliberately survives Reset,
+//	methods it calls; a Reset method on                      Snapshot and Restore)
+//	an unannotated type must declare                       //repolint:notpooled <reason>
+//	itself either way; a pooled type's                       (protocol Reset, not pooling)
+//	Snapshot must read every field and
+//	its Restore must reassign every
+//	field, with the same transitive
+//	closure, and each half of the pair
+//	requires the other
 //
 //	the warm loop allocates nothing:        hotpath        //repolint:hotpath (opt-in on
 //	no fmt, string concatenation,                            the function; panic arguments
@@ -147,8 +193,8 @@
 // and Jobs=N under -race, and allocation budgets are enforced by
 // regression tests (TestPageLoadAllocBudget,
 // TestRunContextReuseAllocBudget, TestFrameReaderAllocBudget);
-// scripts/bench.sh tracks the perf trajectory (BENCH_pr3.json,
-// BENCH_pr4.json, BENCH_pr5.json).
+// scripts/bench.sh tracks the perf trajectory (BENCH_pr3.json through
+// BENCH_pr7.json).
 //
 // See README.md for building, running the experiment drivers
 // (cmd/pushbench) and benchmarking. bench_test.go regenerates every

@@ -12,7 +12,7 @@ import (
 )
 
 func main() {
-	tab := core.Fig5Interleaving(7, 1, 0)
+	tab := core.Fig5Interleaving(7, 1, 0, false)
 	fmt.Print(tab.String())
 
 	fmt.Println("reading the table: 'no push' grows with the HTML size because the")

@@ -23,7 +23,7 @@ func TestPageLoadAllocBudget(t *testing.T) {
 			t.Fatal("incomplete load")
 		}
 	})
-	const budget = 2600 // measured ~1.9k after the dense-ID refactor
+	const budget = 2400 // measured ~1.7k after the event-lane refactor
 	if avg > budget {
 		t.Errorf("page load allocates %.0f, budget %d", avg, budget)
 	}

@@ -114,7 +114,7 @@ func TestFig1AdoptionTable(t *testing.T) {
 }
 
 func TestFig5InterleavingShape(t *testing.T) {
-	tab := Fig5Interleaving(3, 1, 0)
+	tab := Fig5Interleaving(3, 1, 0, false)
 	if len(tab.Rows) != 9 {
 		t.Fatalf("rows = %d", len(tab.Rows))
 	}

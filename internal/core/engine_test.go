@@ -62,7 +62,7 @@ func TestExperimentTablesParallelMatchSequential(t *testing.T) {
 			return Fig6Popular([]string{"w1", "w2"}, sc)
 		}},
 		{"fig5", func(sc ExperimentScale) *Table {
-			return Fig5Interleaving(sc.Runs, sc.Seed, sc.Jobs)
+			return Fig5Interleaving(sc.Runs, sc.Seed, sc.Jobs, sc.NoFork)
 		}},
 	} {
 		a := tc.run(seq).String()

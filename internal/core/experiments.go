@@ -59,6 +59,10 @@ type ExperimentScale struct {
 	// GOMAXPROCS, 1 runs strictly sequentially. Tables are byte-identical
 	// for any value (results are collected in input order).
 	Jobs int
+	// NoFork disables fork-at-divergence checkpoint reuse for every
+	// testbed the drivers build (ablation; output is byte-identical
+	// either way).
+	NoFork bool
 }
 
 // SmallScale is used by unit tests and benchmarks.
@@ -76,6 +80,7 @@ func (sc ExperimentScale) newTestbed(outerN int) *Testbed {
 	tb := NewTestbed()
 	tb.Runs = sc.Runs
 	tb.Jobs = innerJobs(sc.Jobs, outerN)
+	tb.NoFork = sc.NoFork
 	return tb
 }
 
@@ -90,8 +95,10 @@ func (sc ExperimentScale) newTestbedFor(scn scenario.Scenario, outerN int) *Test
 // pass to collectWith: each site-level worker owns one RunContext and
 // lends it (via Testbed.UseContext) to every testbed it builds, so the
 // warmed simulator/network/loader state survives across the traces and
-// evaluations of all sites that worker handles.
-func newWorkerContext(int) *RunContext { return NewRunContext() }
+// evaluations of all sites that worker handles. The contexts are
+// fork-enabled: every strategy a worker evaluates on a site replays
+// the same checkpointed prefix (see fork.go).
+func newWorkerContext(int) *RunContext { return newForkContext() }
 
 // innerJobs divides a pool of jobs workers (jobCount semantics) among
 // outerN concurrent outer tasks, granting each at least one worker.
@@ -389,8 +396,9 @@ func Fig4Synthetic(scale ExperimentScale) *Table {
 
 // Fig5Interleaving builds the paper's test page (CSS in head, body text
 // varied from 10 to 90 KB) and compares no push, plain push and
-// interleaving push. jobs sizes the worker pool (jobCount semantics).
-func Fig5Interleaving(runs int, seed int64, jobs int) *Table {
+// interleaving push. jobs sizes the worker pool (jobCount semantics);
+// noFork disables checkpoint reuse (ablation, identical output).
+func Fig5Interleaving(runs int, seed int64, jobs int, noFork bool) *Table {
 	t := &Table{
 		Title:  "Fig 5b: SpeedIndex vs HTML size for no push / push / interleaving",
 		Header: []string{"html KB", "no push SI (ms)", "push SI (ms)", "interleaving SI (ms)"},
@@ -414,6 +422,7 @@ func Fig5Interleaving(runs int, seed int64, jobs int) *Table {
 		tb.Runs = runs
 		tb.Seed = seed
 		tb.Jobs = innerJobs(jobs, len(sizes))
+		tb.NoFork = noFork
 		tb.UseContext(rc)
 		noPushCfg := *tb
 		noPushCfg.Browser.EnablePush = false

@@ -1,0 +1,253 @@
+package core
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/browser"
+	"repro/internal/netem"
+	"repro/internal/replay"
+	"repro/internal/sim"
+)
+
+// Fork-at-divergence: every strategy evaluated on the same (site,
+// scenario, run) triple replays an identical simulation prefix — dial,
+// handshake, first request — before anything consults the push plan.
+// The driver runs that prefix once, snapshots the full simulation state
+// at the divergence point (the instant the server would first consult
+// its plan, see replay.Farm.ArmCheckpoint), and resumes later runs from
+// the snapshot instead of re-simulating the prefix.
+//
+// Ownership contract: a checkpoint entry deep-copies all mutable state
+// (event queue, TCP pipes, HPACK tables, stream tables, loader tables)
+// into buffers owned by the entry, but the object *pointers* it holds —
+// events, connections, streams, resources — alias the RunContext's
+// pooled object graph. Restore rewrites those structs in place, which
+// is what keeps closures captured during the prefix valid after a
+// rewind. An entry is therefore only meaningful on the RunContext that
+// captured it; forkState lives on the context and never crosses
+// goroutines.
+//
+// Seed compatibility: the prefix of run A can stand in for run B only
+// if the RNG makes it so. If the checkpoint was captured with zero RNG
+// draws (every loss-free profile: jitter is drawn during parsing, after
+// the divergence point), the entry serves any seed — Restore rewinds
+// the generator and ReseedRand points it at the new run. If the prefix
+// consumed draws (lossy links), the entry serves only its own seed,
+// which still covers the dominant reuse pattern: the same run index
+// across every strategy in a sweep.
+
+// forkKey identifies runs whose pre-divergence simulation is identical:
+// same site object, same effective browser config (push enablement and
+// jitter are part of it), same realised link profile, same server think
+// time.
+type forkKey struct {
+	site  *replay.Site
+	cfg   browser.Config
+	prof  netem.Profile
+	think time.Duration
+}
+
+// forkEntry is one cached checkpoint.
+type forkEntry struct {
+	key  forkKey
+	seed int64
+	used uint64 // LRU stamp
+
+	sim  sim.Snapshot
+	net  netem.NetSnapshot
+	farm replay.FarmSnapshot
+	ld   browser.LoaderSnapshot
+}
+
+// forkCacheSize bounds the per-context checkpoint cache. Lossy
+// scenarios key entries per run seed, so the cache must hold a sweep's
+// recent run indices to convert the same-seed cross-strategy reuse.
+const forkCacheSize = 16
+
+// forkState is the per-RunContext checkpoint cache. A nil *forkState on
+// the context disables forking entirely (NewRunContext stays plain; the
+// engine's worker factories opt in).
+type forkState struct {
+	entries []*forkEntry
+	tick    uint64
+
+	// missed records keys that ran cold (plain, uncaptured). Capturing
+	// is gated on a second miss of the same key: strategies that
+	// rewrite the site get a fresh key every Apply, and paying a full
+	// four-layer snapshot for a key that never recurs costs more than
+	// the short pre-divergence prefix it would save.
+	missed   []forkKey
+	missTick int
+}
+
+// forkMissWindow bounds the cold-key memory.
+const forkMissWindow = 32
+
+// hot reports whether key already missed once, i.e. recurs and is
+// worth capturing.
+func (fs *forkState) hot(key forkKey) bool {
+	for _, k := range fs.missed {
+		if k == key {
+			return true
+		}
+	}
+	return false
+}
+
+func (fs *forkState) recordMiss(key forkKey) {
+	if len(fs.missed) < forkMissWindow {
+		fs.missed = append(fs.missed, key)
+		return
+	}
+	fs.missed[fs.missTick%forkMissWindow] = key
+	fs.missTick++
+}
+
+// lookup returns a seed-compatible entry for key, or nil.
+func (fs *forkState) lookup(key forkKey, seed int64) *forkEntry {
+	for _, e := range fs.entries {
+		if e.key == key && (e.sim.Rand().Draws == 0 || e.seed == seed) {
+			fs.tick++
+			e.used = fs.tick
+			return e
+		}
+	}
+	return nil
+}
+
+// insert returns the entry to (over)write for key: an existing entry
+// with the same key and seed, a free slot, or the least recently used
+// entry.
+func (fs *forkState) insert(key forkKey, seed int64) *forkEntry {
+	var victim *forkEntry
+	for _, e := range fs.entries {
+		if e.key == key && e.seed == seed {
+			victim = e
+			break
+		}
+	}
+	if victim == nil && len(fs.entries) < forkCacheSize {
+		victim = &forkEntry{}
+		fs.entries = append(fs.entries, victim)
+	}
+	if victim == nil {
+		victim = fs.entries[0]
+		for _, e := range fs.entries[1:] {
+			if e.used < victim.used {
+				victim = e
+			}
+		}
+	}
+	victim.key, victim.seed = key, seed
+	fs.tick++
+	victim.used = fs.tick
+	return victim
+}
+
+// ForkStats reports fork-at-divergence effectiveness across all run
+// contexts since the last ResetForkStats.
+type ForkStats struct {
+	// Prefixes counts checkpoints captured (prefix simulated in full).
+	Prefixes int64
+	// Hits counts runs resumed from a checkpoint.
+	Hits int64
+	// Fallbacks counts fork-eligible runs whose checkpoint was never
+	// reached (the run completed before the first server dispatch);
+	// they ran the plain full-simulation path.
+	Fallbacks int64
+	// Cold counts first encounters of a cache key: they run plain and
+	// only mark the key, so one-shot keys never pay for a snapshot.
+	Cold int64
+	// Bypassed counts runs that skipped forking up front: NoFork set or
+	// per-run third-party site realisation.
+	Bypassed int64
+	// SnapshotBytes approximates checkpoint size as the captured event
+	// core's footprint, summed over prefixes (see sim.Snapshot.Bytes).
+	SnapshotBytes int64
+}
+
+// HitRate is Hits over all fork-eligible runs.
+func (f ForkStats) HitRate() float64 {
+	tot := f.Prefixes + f.Hits + f.Fallbacks + f.Cold
+	if tot == 0 {
+		return 0
+	}
+	return float64(f.Hits) / float64(tot)
+}
+
+// The counters are process-global so drivers can report aggregate
+// effectiveness without threading state through every worker; they are
+// monotone atomics and never feed back into simulation, so they cannot
+// affect output.
+var (
+	forkPrefixes  atomic.Int64
+	forkHits      atomic.Int64
+	forkFallbacks atomic.Int64
+	forkCold      atomic.Int64
+	forkBypassed  atomic.Int64
+	forkSnapBytes atomic.Int64
+)
+
+// ReadForkStats returns the global fork counters.
+func ReadForkStats() ForkStats {
+	return ForkStats{
+		Prefixes:      forkPrefixes.Load(),
+		Hits:          forkHits.Load(),
+		Fallbacks:     forkFallbacks.Load(),
+		Cold:          forkCold.Load(),
+		Bypassed:      forkBypassed.Load(),
+		SnapshotBytes: forkSnapBytes.Load(),
+	}
+}
+
+// ResetForkStats zeroes the global fork counters.
+func ResetForkStats() {
+	forkPrefixes.Store(0)
+	forkHits.Store(0)
+	forkFallbacks.Store(0)
+	forkCold.Store(0)
+	forkBypassed.Store(0)
+	forkSnapBytes.Store(0)
+}
+
+// newForkContext returns a RunContext with fork-at-divergence enabled.
+// The engine's worker factories use it; NewRunContext stays plain so
+// one-shot RunOnce calls never pay for snapshots they cannot reuse.
+func newForkContext() *RunContext { return &RunContext{fork: &forkState{}} }
+
+// resumeForked rewinds rc to a checkpoint and completes the run under
+// plan. The restore order is load-bearing: the simulator first (it
+// rewrites the Event structs, including the lane sentinels the network
+// lanes point at), then the network, then the farm and loader whose h2
+// cores sit on top of it.
+func (tb *Testbed) resumeForked(rc *RunContext, e *forkEntry, plan replay.Plan, seed int64) *RunResult {
+	rc.sim.Restore(&e.sim)
+	rc.net.Restore(&e.net)
+	rc.farm.Restore(&e.farm)
+	rc.ld.Restore(&e.ld)
+	if seed != e.seed {
+		// lookup only crosses seeds when the prefix drew nothing, so the
+		// generator rewinds to draws==0 and can be re-pointed.
+		rc.sim.ReseedRand(seed)
+	}
+	rc.farm.SetPlan(plan)
+	forkHits.Add(1)
+	rc.sim.Run()
+	return &RunResult{
+		Result:          rc.ld.Result(),
+		WireBytesPushed: rc.farm.BytesPushed,
+		WirePushCount:   rc.farm.PushCount,
+	}
+}
+
+// captureFork snapshots rc's full simulation state into the cache.
+func captureFork(rc *RunContext, key forkKey, seed int64) {
+	e := rc.fork.insert(key, seed)
+	rc.sim.Snapshot(&e.sim)
+	rc.net.Snapshot(&e.net)
+	rc.farm.Snapshot(&e.farm)
+	rc.ld.Snapshot(&e.ld)
+	forkPrefixes.Add(1)
+	forkSnapBytes.Add(int64(e.sim.Bytes()))
+}

@@ -1,0 +1,202 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/replay"
+	"repro/internal/scenario"
+	"repro/internal/strategy"
+)
+
+// fingerprint serializes everything a run produces — every resource
+// timing, every progress point, the page metrics and the wire-level
+// push stats — so two runs compare byte-for-byte, not just on medians.
+func fingerprint(r *RunResult) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "plt=%v si=%v fp=%v vc=%v onload=%v conn=%v done=%v\n",
+		r.PLT, r.SpeedIndex, r.FirstPaint, r.VisuallyComplete, r.OnLoadAt, r.ConnectEnd, r.Completed)
+	fmt.Fprintf(&sb, "req=%d conns=%d pacc=%d pcan=%d punused=%d bused=%d bwaste=%d wireB=%d wireN=%d\n",
+		r.Requests, r.Conns, r.PushedAccepted, r.PushedCancelled, r.PushedUnused,
+		r.BytesPushedUsed, r.BytesPushedWasted, r.WireBytesPushed, r.WirePushCount)
+	for _, tm := range r.Timings {
+		fmt.Fprintf(&sb, "t %s %v %v %d push=%v\n", tm.URL, tm.Start, tm.End, tm.Bytes, tm.Pushed)
+	}
+	for _, p := range r.Progress {
+		fmt.Fprintf(&sb, "p %v %.6f\n", p.T, p.Fraction)
+	}
+	return sb.String()
+}
+
+// applyStrategy mirrors EvaluateStrategy's per-strategy setup without
+// the aggregation: it returns the rewritten site, the plan, and a
+// testbed copy with push disabled for the no-push baselines.
+func applyStrategy(tb *Testbed, site *replay.Site, st strategy.Strategy, tr *strategy.Trace) (*Testbed, *replay.Site, replay.Plan) {
+	runSite, plan := st.Apply(site, tr)
+	run := *tb
+	switch st.(type) {
+	case strategy.NoPush, strategy.NoPushOptimized:
+		run.Browser.EnablePush = false
+	}
+	return &run, runSite, plan
+}
+
+// TestForkMatchesFresh is the tentpole's non-negotiable: for every
+// strategy, every run resumed from a checkpointed prefix must produce a
+// trace byte-identical to the same run simulated from scratch. It
+// covers a loss-free scenario (cross-seed prefix reuse via RNG rewind)
+// and a lossy one (same-seed reuse only).
+func TestForkMatchesFresh(t *testing.T) {
+	sat, err := scenario.ByName("satellite")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sites := corpus.GenerateSet(corpus.RandomProfile(), 2, 1)
+	ResetForkStats()
+	for _, scn := range []scenario.Scenario{scenario.DSL(), sat} {
+		for si, site := range sites {
+			base := NewTestbed()
+			base.Scenario = scn
+			base.Runs = 3
+			base.Jobs = 1
+
+			fresh := *base
+			fresh.NoFork = true
+			rcFresh := NewRunContext()
+			rcFork := newForkContext()
+
+			tr := fresh.Trace(site, 2)
+			for _, st := range PopularStrategies() {
+				tbA, siteA, planA := applyStrategy(&fresh, site, st, tr)
+				tbB, siteB, planB := applyStrategy(base, site, st, tr)
+				for run := 0; run < 3; run++ {
+					want := fingerprint(tbA.RunOnceWith(rcFresh, siteA, planA, run))
+					got := fingerprint(tbB.RunOnceWith(rcFork, siteB, planB, run))
+					if got != want {
+						t.Fatalf("%s/site%d/%s run %d: forked trace diverged from fresh\nfresh:\n%s\nfork:\n%s",
+							scn.Name, si, st.Name(), run, want, got)
+					}
+				}
+			}
+		}
+	}
+	stats := ReadForkStats()
+	if stats.Hits == 0 {
+		t.Fatalf("fork never hit a checkpoint: %+v", stats)
+	}
+	if stats.Prefixes == 0 {
+		t.Fatalf("fork never captured a prefix: %+v", stats)
+	}
+}
+
+// TestForkDivergenceDetection pins the divergence-point contract: a
+// strategy that changes the connection handshake itself (SETTINGS:
+// push disabled) diverges before the checkpoint, so it must not share
+// the push-enabled prefix — it gets its own — and both still match the
+// no-fork simulation exactly.
+func TestForkDivergenceDetection(t *testing.T) {
+	site := corpus.GenerateSet(corpus.RandomProfile(), 1, 7)[0]
+	tb := NewTestbed()
+	tb.Runs = 3
+	tb.Jobs = 1
+
+	rcFork := newForkContext()
+	rcFresh := NewRunContext()
+	fresh := *tb
+	fresh.NoFork = true
+
+	ResetForkStats()
+	for _, st := range []strategy.Strategy{strategy.PushAll{}, strategy.NoPush{}} {
+		tbF, runSite, plan := applyStrategy(tb, site, st, nil)
+		tbN, _, _ := applyStrategy(&fresh, site, st, nil)
+		for run := 0; run < 3; run++ {
+			want := fingerprint(tbN.RunOnceWith(rcFresh, runSite, plan, run))
+			got := fingerprint(tbF.RunOnceWith(rcFork, runSite, plan, run))
+			if got != want {
+				t.Fatalf("%s run %d diverged from fresh", st.Name(), run)
+			}
+		}
+	}
+	// Two distinct handshakes (push on / push off) must have built two
+	// distinct prefixes rather than sharing one.
+	if got := len(rcFork.fork.entries); got != 2 {
+		t.Fatalf("expected 2 checkpoint entries (one per handshake config), got %d", got)
+	}
+	// Per strategy: run 0 cold (key only recorded), run 1 captures, run 2
+	// resumes — so each handshake config pays exactly one prefix.
+	stats := ReadForkStats()
+	if stats.Prefixes != 2 {
+		t.Fatalf("expected 2 prefixes, got %+v", stats)
+	}
+	if stats.Hits != 2 {
+		t.Fatalf("expected 2 hits, got %+v", stats)
+	}
+	if stats.Cold != 2 {
+		t.Fatalf("expected 2 cold runs, got %+v", stats)
+	}
+}
+
+// TestForkFallbackBeforeCheckpoint covers runs that end before the
+// divergence point is ever reached: with the event budget capped below
+// the handshake length, the first server dispatch never happens, the
+// checkpoint never fires, and the run must fall back to the plain
+// full-simulation path with identical output and no cached prefix.
+func TestForkFallbackBeforeCheckpoint(t *testing.T) {
+	site := corpus.GenerateSet(corpus.RandomProfile(), 1, 3)[0]
+	tb := NewTestbed()
+	tb.Runs = 2
+	tb.Jobs = 1
+	tb.limitEvents = 4 // well below the handshake's event count
+
+	fresh := *tb
+	fresh.NoFork = true
+	rcFork := newForkContext()
+	rcFresh := NewRunContext()
+
+	ResetForkStats()
+	for run := 0; run < 2; run++ {
+		want := fingerprint(fresh.RunOnceWith(rcFresh, site, replay.NoPush(), run))
+		got := fingerprint(tb.RunOnceWith(rcFork, site, replay.NoPush(), run))
+		if got != want {
+			t.Fatalf("fallback run %d diverged from fresh:\n%s\nvs\n%s", run, want, got)
+		}
+		if want == "" {
+			t.Fatal("empty fingerprint")
+		}
+	}
+	// Run 0 is a cold first encounter (never armed); run 1 arms the
+	// checkpoint, never reaches it, and takes the fallback path.
+	stats := ReadForkStats()
+	if stats.Fallbacks != 1 || stats.Cold != 1 {
+		t.Fatalf("expected 1 fallback and 1 cold run, got %+v", stats)
+	}
+	if stats.Prefixes != 0 || stats.Hits != 0 {
+		t.Fatalf("no prefix should have been captured: %+v", stats)
+	}
+}
+
+// TestForkBypassedForThirdPartyVariability: the Internet scenario
+// realises a per-run site, so forking is ineligible and must be
+// bypassed — with output identical to NoFork by construction.
+func TestForkBypassedForThirdPartyVariability(t *testing.T) {
+	site := corpus.GenerateSet(corpus.RandomProfile(), 1, 5)[0]
+	tb := NewTestbed()
+	tb.Scenario = scenario.Internet()
+	tb.Runs = 2
+	tb.Jobs = 1
+
+	rcFork := newForkContext()
+	ResetForkStats()
+	for run := 0; run < 2; run++ {
+		tb.RunOnceWith(rcFork, site, replay.NoPush(), run)
+	}
+	stats := ReadForkStats()
+	if stats.Bypassed != 2 {
+		t.Fatalf("expected 2 bypassed runs, got %+v", stats)
+	}
+	if len(rcFork.fork.entries) != 0 {
+		t.Fatalf("bypassed runs must not populate the cache")
+	}
+}

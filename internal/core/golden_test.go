@@ -1,19 +1,29 @@
 package core
 
 import (
+	"flag"
 	"os"
 	"strings"
 	"testing"
 )
 
-// The golden fixtures in testdata were generated before the zero-copy
-// data-plane refactor (PR 3) from the then-current simulator. These tests
-// pin the experiment tables byte-for-byte against them, at Jobs=1 and
-// Jobs=GOMAXPROCS, so neither the zero-copy byte path nor the parallel
-// engine can silently change a single cell. Run under -race in CI.
+// The golden fixtures in testdata pin the experiment tables
+// byte-for-byte, at Jobs=1 and Jobs=GOMAXPROCS, so neither the
+// simulation core nor the parallel engine can silently change a single
+// cell. Run under -race in CI. A deliberate simulation-order change
+// (e.g. a different RNG or event scheduling) regenerates them with
+// `go test -run Golden -update ./internal/core/`; review the diff
+// before committing.
 
-func readGolden(t *testing.T, name string) string {
+var updateGolden = flag.Bool("update", false, "rewrite golden fixtures from current output")
+
+func readGolden(t *testing.T, name, got string) string {
 	t.Helper()
+	if *updateGolden {
+		if err := os.WriteFile("testdata/"+name, []byte(got), 0o644); err != nil {
+			t.Fatalf("update golden: %v", err)
+		}
+	}
 	b, err := os.ReadFile("testdata/" + name)
 	if err != nil {
 		t.Fatalf("read golden: %v", err)
@@ -32,30 +42,43 @@ func diffLine(got, want string) string {
 }
 
 func TestFig2bGoldenByteIdentical(t *testing.T) {
-	want := readGolden(t, "fig2b_golden.txt")
-	for _, jobs := range []int{1, 0} {
-		sc := ExperimentScale{Sites: 4, Runs: 3, Seed: 1, Jobs: jobs}
-		got := Fig2bPushVsNoPush(sc).String()
-		if got != want {
-			t.Errorf("Fig2b table diverged from golden at Jobs=%d: %s", jobs, diffLine(got, want))
+	var want string
+	// Forking on and off must both match the golden: the checkpoint
+	// fast path may not change a single cell.
+	for _, noFork := range []bool{false, true} {
+		for _, jobs := range []int{1, 0} {
+			sc := ExperimentScale{Sites: 4, Runs: 3, Seed: 1, Jobs: jobs, NoFork: noFork}
+			got := Fig2bPushVsNoPush(sc).String()
+			if want == "" {
+				want = readGolden(t, "fig2b_golden.txt", got)
+			}
+			if got != want {
+				t.Errorf("Fig2b table diverged from golden at Jobs=%d noFork=%v: %s", jobs, noFork, diffLine(got, want))
+			}
 		}
 	}
 }
 
 func TestScenarioSweepGoldenByteIdentical(t *testing.T) {
-	want := readGolden(t, "scenariosweep_golden.txt")
-	for _, jobs := range []int{1, 0} {
-		sc := ExperimentScale{Sites: 2, Runs: 2, Seed: 1, Jobs: jobs}
-		tabs, err := ScenarioSweepNames([]string{"dsl", "satellite"}, sc)
-		if err != nil {
-			t.Fatal(err)
-		}
-		var sb strings.Builder
-		for _, tab := range tabs {
-			sb.WriteString(tab.String())
-		}
-		if got := sb.String(); got != want {
-			t.Errorf("scenario sweep tables diverged from golden at Jobs=%d: %s", jobs, diffLine(got, want))
+	var want string
+	for _, noFork := range []bool{false, true} {
+		for _, jobs := range []int{1, 0} {
+			sc := ExperimentScale{Sites: 2, Runs: 2, Seed: 1, Jobs: jobs, NoFork: noFork}
+			tabs, err := ScenarioSweepNames([]string{"dsl", "satellite"}, sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var sb strings.Builder
+			for _, tab := range tabs {
+				sb.WriteString(tab.String())
+			}
+			got := sb.String()
+			if want == "" {
+				want = readGolden(t, "scenariosweep_golden.txt", got)
+			}
+			if got != want {
+				t.Errorf("scenario sweep tables diverged from golden at Jobs=%d noFork=%v: %s", jobs, noFork, diffLine(got, want))
+			}
 		}
 	}
 }

@@ -60,6 +60,17 @@ type Testbed struct {
 	// re-seeds its simulator from the run index and results are
 	// collected in run order, so output is identical for any value.
 	Jobs int
+	// NoFork disables fork-at-divergence checkpoint reuse (see fork.go),
+	// forcing every run to simulate its full prefix. Output is
+	// byte-identical either way; the flag exists for ablation and as a
+	// correctness cross-check.
+	NoFork bool
+
+	// limitEvents, when positive, bounds each run's simulator event
+	// count. Test hook: a bound below the handshake length is the only
+	// way to end a run before the first server dispatch, which is what
+	// exercises the fork driver's pre-checkpoint fallback path.
+	limitEvents int
 
 	// ctx, when set, seeds one run-level worker with a caller-owned
 	// RunContext so its warmed state is reused across Evaluate/Trace
@@ -77,12 +88,13 @@ func (tb *Testbed) UseContext(rc *RunContext) { tb.ctx = rc }
 
 // workerContext is the per-worker context factory for run-level pools:
 // worker 0 borrows the testbed's attached context (if any), every other
-// worker gets a fresh one.
+// worker gets a fresh fork-enabled one, so even contexts that live for
+// a single Evaluate call reuse the checkpointed prefix across its runs.
 func (tb *Testbed) workerContext(worker int) *RunContext {
 	if worker == 0 && tb.ctx != nil {
 		return tb.ctx
 	}
-	return NewRunContext()
+	return newForkContext()
 }
 
 // NewTestbed returns the paper's configuration: DSL link, 31 runs.
@@ -135,6 +147,11 @@ type RunContext struct {
 	farm    *replay.Farm
 	ld      *browser.Loader
 	overlay scenario.SiteScratch
+	// fork, when non-nil, enables fork-at-divergence checkpoint reuse
+	// across the runs this context executes (see fork.go). Entries
+	// alias the context's pooled object graph, so the cache is strictly
+	// per-context.
+	fork *forkState
 }
 
 // NewRunContext returns an empty context; the first run populates it.
@@ -164,12 +181,38 @@ func (tb *Testbed) RunOnceWith(rc *RunContext, site *replay.Site, plan replay.Pl
 	case cond.ClientJitterFrac < 0: // scenario forces a deterministic client
 		cfg.JitterFrac = 0
 	}
+	fork := rc.fork
+	if fork != nil && (tb.NoFork || cond.ThirdPartyVaries()) {
+		// Per-run third-party realisation makes the site itself a
+		// function of the seed, so no prefix is shareable.
+		fork = nil
+		forkBypassed.Add(1)
+	}
+	var key forkKey
+	if fork != nil {
+		key = forkKey{site: site, cfg: cfg, prof: cond.Profile, think: cond.ThinkTime}
+		if e := fork.lookup(key, seed); e != nil {
+			return tb.resumeForked(rc, e, plan, seed)
+		}
+		if !fork.hot(key) {
+			// First encounter: run plain and only remember the key.
+			// Capturing is deferred to a second miss so one-shot keys
+			// (strategies that rewrite the site produce a fresh key per
+			// Apply) never pay for a snapshot that cannot be reused.
+			fork.recordMiss(key)
+			forkCold.Add(1)
+			fork = nil
+		}
+	}
 	if rc.sim == nil {
 		rc.sim = sim.New(seed)
 		rc.net = netem.New(rc.sim, cond.Profile)
 	} else {
 		rc.sim.Reset(seed)
 		rc.net.Reset(cond.Profile)
+	}
+	if tb.limitEvents > 0 {
+		rc.sim.Limit = tb.limitEvents
 	}
 	runSite := cond.ApplySiteInto(site, &rc.overlay)
 	if rc.farm == nil {
@@ -183,8 +226,22 @@ func (tb *Testbed) RunOnceWith(rc *RunContext, site *replay.Site, plan replay.Pl
 	} else {
 		rc.ld.Reset(rc.sim, rc.farm, cfg)
 	}
+	if fork != nil {
+		rc.farm.ArmCheckpoint()
+	}
 	rc.ld.Start()
 	rc.sim.Run()
+	if fork != nil {
+		if rc.farm.CheckpointHit() {
+			// The sim stopped at the divergence point with the first
+			// serve still queued; capture the prefix, then let this
+			// run's own plan (installed at Reset) play out.
+			captureFork(rc, key, seed)
+			rc.sim.Run()
+		} else {
+			forkFallbacks.Add(1)
+		}
+	}
 	return &RunResult{
 		Result:          rc.ld.Result(),
 		WireBytesPushed: rc.farm.BytesPushed,

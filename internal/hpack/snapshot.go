@@ -1,0 +1,94 @@
+package hpack
+
+// Snapshot/Restore capture codec state for the engine's
+// fork-at-checkpoint replay: the dynamic table contents and the few
+// scalars that affect future blocks. Scratch buffers (the encoder's
+// output buffer, the decoder's field list and Huffman scratch) are
+// rewritten from scratch by every block and hold nothing across a
+// quiescent checkpoint, so they are deliberately not captured; the
+// decoder's intern table is shared immutable state that never affects
+// output. Snapshots own their slices and reuse them across calls.
+
+// tableState is a linearized copy of a dynamic table, newest entry
+// first.
+type tableState struct {
+	ents    []HeaderField
+	size    uint32
+	maxSize uint32
+}
+
+func (dt *dynamicTable) snapshot(dst *tableState) {
+	dst.ents = dst.ents[:0]
+	for i := 0; i < dt.n; i++ {
+		dst.ents = append(dst.ents, dt.ents[(dt.head+i)%len(dt.ents)])
+	}
+	dst.size, dst.maxSize = dt.size, dt.maxSize
+}
+
+func (dt *dynamicTable) restore(st *tableState) {
+	dt.reset()
+	if len(st.ents) > len(dt.ents) {
+		dt.ents = make([]HeaderField, max(2*len(st.ents), 8))
+	}
+	// Newest-first linear layout maps directly onto head=0.
+	copy(dt.ents, st.ents)
+	dt.head, dt.n = 0, len(st.ents)
+	dt.size, dt.maxSize = st.size, st.maxSize
+}
+
+// EncoderSnapshot is a deep copy of an Encoder's connection state.
+type EncoderSnapshot struct {
+	dt              tableState
+	pendingMax      uint32
+	hasPending      bool
+	disableIndexing bool
+	blocks          int
+}
+
+// Snapshot copies the encoder's connection state into dst.
+func (e *Encoder) Snapshot(dst *EncoderSnapshot) {
+	e.dt.snapshot(&dst.dt)
+	dst.hasPending = e.pendingMaxSize != nil
+	if dst.hasPending {
+		dst.pendingMax = *e.pendingMaxSize
+	} else {
+		dst.pendingMax = 0
+	}
+	dst.disableIndexing = e.DisableIndexing
+	dst.blocks = e.blocks
+}
+
+// Restore rewinds the encoder to the captured state.
+func (e *Encoder) Restore(snap *EncoderSnapshot) {
+	e.dt.restore(&snap.dt)
+	if snap.hasPending {
+		v := snap.pendingMax
+		e.pendingMaxSize = &v
+	} else {
+		e.pendingMaxSize = nil
+	}
+	e.DisableIndexing = snap.disableIndexing
+	e.blocks = snap.blocks
+	e.recordAdds = nil // prepare-time hook; never set across a checkpoint
+}
+
+// DecoderSnapshot is a deep copy of a Decoder's connection state.
+type DecoderSnapshot struct {
+	dt              tableState
+	maxStringLength int
+	maxAllowed      uint32
+}
+
+// Snapshot copies the decoder's connection state into dst.
+func (d *Decoder) Snapshot(dst *DecoderSnapshot) {
+	d.dt.snapshot(&dst.dt)
+	dst.maxStringLength = d.MaxStringLength
+	dst.maxAllowed = d.maxAllowed
+}
+
+// Restore rewinds the decoder to the captured state.
+func (d *Decoder) Restore(snap *DecoderSnapshot) {
+	d.dt.restore(&snap.dt)
+	d.MaxStringLength = snap.maxStringLength
+	d.maxAllowed = snap.maxAllowed
+}

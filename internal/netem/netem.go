@@ -125,7 +125,8 @@ type pendingRelease struct {
 //
 //repolint:pooled
 type pipe struct {
-	s         *sim.Sim //repolint:keep bound at New; the owning Sim is Reset in place
+	s         *sim.Sim  //repolint:keep bound at New; the owning Sim is Reset in place
+	lane      *sim.Lane // FIFO delivery lane: admissions depart in order, so deliveries are monotone
 	rate      Rate
 	prop      time.Duration
 	limit     int
@@ -205,6 +206,14 @@ type Network struct {
 
 	nextConnID int
 	segFree    []*segment //repolint:keep recycled segment free list; putSeg scrubs entries
+
+	// Live-object registries for Snapshot/Restore: every Conn ever dialed
+	// this run, and every segment currently outside the free list. The
+	// snapshot walks them to capture per-object contents; Restore rewrites
+	// those same structs in place so events and timers that alias them
+	// stay valid.
+	conns   []*Conn
+	segLive []*segment
 }
 
 // New builds a Network on the given simulator. It panics on an invalid
@@ -217,8 +226,8 @@ func New(s *sim.Sim, prof Profile) *Network {
 	return &Network{
 		Sim:  s,
 		Prof: prof,
-		down: &pipe{s: s, rate: prof.DownRate, prop: half, limit: prof.QueueBytes},
-		up:   &pipe{s: s, rate: prof.UpRate, prop: half, limit: prof.QueueBytes},
+		down: &pipe{s: s, lane: sim.NewLane(s), rate: prof.DownRate, prop: half, limit: prof.QueueBytes},
+		up:   &pipe{s: s, lane: sim.NewLane(s), rate: prof.UpRate, prop: half, limit: prof.QueueBytes},
 	}
 }
 
@@ -236,6 +245,15 @@ func (n *Network) Reset(prof Profile) {
 	n.nextConnID = 0
 	n.down.reset(prof.DownRate, half, prof.QueueBytes)
 	n.up.reset(prof.UpRate, half, prof.QueueBytes)
+	clear(n.conns)
+	n.conns = n.conns[:0]
+	// Reclaim segments still in flight when the previous run ended.
+	for i, seg := range n.segLive {
+		n.segLive[i] = nil
+		scrubSeg(seg)
+		n.segFree = append(n.segFree, seg)
+	}
+	n.segLive = n.segLive[:0]
 }
 
 // reset clears one direction's queue/stat state for a new run.
@@ -244,6 +262,7 @@ func (p *pipe) reset(rate Rate, prop time.Duration, limit int) {
 	p.busyUntil, p.queued = 0, 0
 	p.pending, p.phead = p.pending[:0], 0
 	p.delivered, p.dropped = 0, 0
+	p.lane.Reset()
 }
 
 // DownlinkDelivered returns total bytes delivered client-ward, for tests.
@@ -256,20 +275,36 @@ func (n *Network) UplinkDelivered() int64 { return n.up.delivered }
 func (n *Network) Drops() int64 { return n.down.dropped + n.up.dropped }
 
 func (n *Network) getSeg() *segment {
+	var seg *segment
 	if m := len(n.segFree); m > 0 {
-		seg := n.segFree[m-1]
+		seg = n.segFree[m-1]
 		n.segFree[m-1] = nil
 		n.segFree = n.segFree[:m-1]
-		return seg
+	} else {
+		seg = &segment{}
 	}
-	return &segment{}
+	seg.liveIdx = len(n.segLive)
+	n.segLive = append(n.segLive, seg)
+	return seg
 }
 
-func (n *Network) putSeg(seg *segment) {
+// scrubSeg clears a segment's payload references so a pooled struct pins
+// nothing for the garbage collector.
+func scrubSeg(seg *segment) {
 	for i := range seg.parts {
 		seg.parts[i] = nil
 	}
-	*seg = segment{parts: seg.parts[:0]}
+	*seg = segment{parts: seg.parts[:0], liveIdx: -1}
+}
+
+func (n *Network) putSeg(seg *segment) {
+	// Swap-remove from the live registry.
+	i, last := seg.liveIdx, len(n.segLive)-1
+	n.segLive[i] = n.segLive[last]
+	n.segLive[i].liveIdx = i
+	n.segLive[last] = nil
+	n.segLive = n.segLive[:last]
+	scrubSeg(seg)
 	n.segFree = append(n.segFree, seg)
 }
 
@@ -307,6 +342,7 @@ type segment struct {
 	size    int
 	attempt int
 	parts   [][]byte
+	liveIdx int // index in Network.segLive while live; -1 when free
 
 	delivered bool // payload handed to the receiver (or dropped as a dup)
 	ackDone   bool // ACK event fired
@@ -453,7 +489,10 @@ func (h *halfConn) sendSegment(seg *segment) {
 	lost := h.lossRate > 0 && h.rng != nil && h.rng() < h.lossRate
 	if !lost {
 		if at, ok := h.pipe.admit(seg.size+h.overhead, false); ok {
-			h.s.AtCall(at, deliverSegment, seg)
+			// Admission times are nondecreasing per pipe (a link is a FIFO
+			// queue), so deliveries ride the pipe's lane instead of each
+			// taking a heap slot.
+			h.pipe.lane.AtCall(at, deliverSegment, seg)
 			return
 		}
 	}
@@ -550,7 +589,7 @@ func (h *halfConn) onSegmentArrive(seg *segment) {
 	// ACK back through the reverse pipe. ACKs are never lost in the model
 	// (cumulative-ACK robustness is not modelled; see pipe.admit).
 	at, _ := h.ackPipe.admit(h.overhead, true)
-	h.s.AtCall(at, deliverAck, seg)
+	h.ackPipe.lane.AtCall(at, deliverAck, seg)
 }
 
 //repolint:hotpath
@@ -606,6 +645,7 @@ func (h *halfConn) onAck(n int) {
 func (n *Network) Dial(onConnect func(*Conn)) *Conn {
 	n.nextConnID++
 	c := &Conn{net: n, ID: n.nextConnID}
+	n.conns = append(n.conns, c)
 	prof := n.Prof
 	mkHalf := func(dataPipe, ackPipe *pipe) *halfConn {
 		return &halfConn{

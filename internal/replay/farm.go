@@ -17,9 +17,15 @@ import (
 //
 //repolint:pooled
 type Farm struct {
-	S        *sim.Sim
-	Net      *netem.Network
-	Site     *Site
+	S   *sim.Sim
+	Net *netem.Network
+	// Site is the recorded site served this run.
+	Site *Site
+	// Plan is the strategy's push plan. It is excluded from snapshots:
+	// the checkpoint is taken before any serve consults it, and a restore
+	// installs the replayed strategy's plan via SetPlan.
+	//
+	//repolint:keep re-lowered through SetPlan after a checkpoint restore
 	Plan     Plan
 	Settings h2.Settings
 	// ThinkTime delays every response, emulating backend fetch time. The
@@ -42,10 +48,27 @@ type Farm struct {
 	// first-serve header-block sequence. It is recomputed only when the
 	// (site, plan) pair changes, so a run context re-running the same
 	// evaluation reuses it across every run.
+	//
+	//repolint:keep identity-keyed cache; SetPlan re-lowers it after a restore
 	resolved resolvedPlan
 
 	// handler is the per-farm request dispatch closure, built once.
+	//
+	//repolint:keep built once, bound to this farm; identical across any snapshot
 	handler func(sw *h2.ServerStream, req h2.Request)
+
+	// svQ is the FIFO of dispatched requests awaiting their serve event.
+	// Every request is served asynchronously (at now+ThinkTime) through a
+	// pooled event, so the first dispatch of a run is a clean checkpoint:
+	// the serve that will consult the plan is still queued when the
+	// armed Stop returns from Run.
+	svQ    []svReq
+	svHead int
+
+	// One-shot checkpoint arming; see ArmCheckpoint. Never set across a
+	// snapshot (the hit fires Stop before Snapshot runs).
+	ckArmed bool //repolint:keep driver-managed one-shot, cleared by the hit and by Restore
+	ckHit   bool //repolint:keep driver-managed one-shot, cleared by Restore
 
 	// Pooled server connections: bundles move from pool to active on
 	// Dial and back on Reset, so a warm farm re-dials without rebuilding
@@ -69,6 +92,12 @@ type serverBundle struct {
 // endpoint is rewired by Attach when the farm next dials.
 func (b *serverBundle) reset(s h2.Settings, handler func(sw *h2.ServerStream, req h2.Request)) {
 	b.srv.Reset(s, handler)
+}
+
+// svReq is one dispatched request waiting in the serve FIFO.
+type svReq struct {
+	sw  *h2.ServerStream
+	req h2.Request
 }
 
 type pendingPush struct {
@@ -136,8 +165,30 @@ func (f *Farm) Reset(s *sim.Sim, net *netem.Network, site *Site, plan Plan) {
 		f.srvActive[i] = nil
 	}
 	f.srvActive = f.srvActive[:0]
+	clear(f.svQ)
+	f.svQ, f.svHead = f.svQ[:0], 0
+	f.ckArmed, f.ckHit = false, false
 	f.resolvePlan()
 }
+
+// SetPlan swaps the push plan and re-lowers it onto the site. The fork
+// driver calls it after a checkpoint restore; it is only valid while no
+// serve has consulted the previous plan, which the checkpoint placement
+// (first dispatch, serve still queued) guarantees.
+func (f *Farm) SetPlan(plan Plan) {
+	f.Plan = plan
+	f.resolvePlan()
+}
+
+// ArmCheckpoint arms a one-shot simulator stop at the next request
+// dispatch: the instant the run's first serve event is enqueued — and
+// therefore the last instant before any code consults the push plan —
+// the farm calls Stop, leaving the simulation quiescent for Snapshot
+// with the serve still queued.
+func (f *Farm) ArmCheckpoint() { f.ckArmed, f.ckHit = true, false }
+
+// CheckpointHit reports whether the armed checkpoint fired this run.
+func (f *Farm) CheckpointHit() bool { return f.ckHit }
 
 func mapSig[K comparable, V any](m map[K]V) uintptr {
 	if m == nil {
@@ -297,13 +348,39 @@ func (f *Farm) getServer() *serverBundle {
 	return b
 }
 
+// dispatch enqueues the request and schedules its serve at
+// now+ThinkTime through a pooled event. Service is uniformly
+// asynchronous: enqueue order equals serve order (admission times are
+// nondecreasing and the FIFO breaks ties by scheduling sequence).
 func (f *Farm) dispatch(sw *h2.ServerStream, req h2.Request) {
 	f.RequestCount++
-	if f.ThinkTime > 0 {
-		f.S.After(f.ThinkTime, func() { f.serve(sw, req) })
-		return
+	f.svQ = append(f.svQ, svReq{sw: sw, req: req})
+	f.S.AtCall(f.S.Now()+f.ThinkTime, serveStep, f)
+	if f.ckArmed {
+		f.ckArmed = false
+		f.ckHit = true
+		f.S.Stop()
 	}
-	f.serve(sw, req)
+}
+
+// serveStep is the pooled serve event: pop the FIFO head, serve it.
+//
+//repolint:hotpath
+func serveStep(arg any) { arg.(*Farm).serveNext() }
+
+func (f *Farm) serveNext() {
+	r := f.svQ[f.svHead]
+	f.svQ[f.svHead] = svReq{}
+	f.svHead++
+	switch {
+	case f.svHead == len(f.svQ):
+		f.svQ, f.svHead = f.svQ[:0], 0
+	case f.svHead > 64 && 2*f.svHead >= len(f.svQ):
+		n := copy(f.svQ, f.svQ[f.svHead:])
+		clear(f.svQ[n:])
+		f.svQ, f.svHead = f.svQ[:n], 0
+	}
+	f.serve(r.sw, r.req)
 }
 
 //repolint:hotpath

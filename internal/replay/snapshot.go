@@ -1,0 +1,79 @@
+package replay
+
+import (
+	"time"
+
+	"repro/internal/h2"
+	"repro/internal/netem"
+	"repro/internal/sim"
+)
+
+// FarmSnapshot is a deep copy of a Farm's run state: stats, the serve
+// FIFO, and the h2 state of every active server connection. The push
+// plan and its resolved lowering are deliberately excluded — the
+// checkpoint is taken at the first dispatch, before any serve consults
+// the plan, and the fork driver installs the replayed strategy's plan
+// via SetPlan after Restore. Snapshots own their slices and reuse them
+// across calls; the *serverBundle pointers are aliases whose servers
+// Restore rewrites in place.
+type FarmSnapshot struct {
+	s           *sim.Sim
+	net         *netem.Network
+	site        *Site
+	settings    h2.Settings
+	thinkTime   time.Duration
+	noPreEncode bool
+
+	bytesPushed  int64
+	pushCount    int
+	requestCount int
+
+	svQ []svReq
+
+	pool   []*serverBundle
+	active []*serverBundle
+	srvs   []h2.ServerSnapshot
+	eps    []h2.EndpointSnapshot
+}
+
+// Snapshot copies the farm's run state into dst.
+func (f *Farm) Snapshot(dst *FarmSnapshot) {
+	dst.s, dst.net, dst.site = f.S, f.Net, f.Site
+	dst.settings, dst.thinkTime, dst.noPreEncode = f.Settings, f.ThinkTime, f.NoPreEncode
+	dst.bytesPushed, dst.pushCount, dst.requestCount = f.BytesPushed, f.PushCount, f.RequestCount
+	dst.svQ = append(dst.svQ[:0], f.svQ[f.svHead:]...)
+	dst.pool = append(dst.pool[:0], f.srvPool...)
+	dst.active = append(dst.active[:0], f.srvActive...)
+	for len(dst.srvs) < len(f.srvActive) {
+		dst.srvs = append(dst.srvs, h2.ServerSnapshot{})
+		dst.eps = append(dst.eps, h2.EndpointSnapshot{})
+	}
+	dst.srvs = dst.srvs[:len(f.srvActive)]
+	dst.eps = dst.eps[:len(f.srvActive)]
+	for i, b := range f.srvActive {
+		b.srv.Snapshot(&dst.srvs[i])
+		b.ep.Snapshot(&dst.eps[i])
+	}
+}
+
+// Restore rewinds the farm to the captured state. Bundles dialed after
+// the snapshot return to the pool by membership (they are reset when
+// next popped); bundles active at the snapshot get their server cores
+// and endpoint attachments rewritten in place.
+func (f *Farm) Restore(snap *FarmSnapshot) {
+	f.S, f.Net, f.Site = snap.s, snap.net, snap.site
+	f.Settings, f.ThinkTime, f.NoPreEncode = snap.settings, snap.thinkTime, snap.noPreEncode
+	f.BytesPushed, f.PushCount, f.RequestCount = snap.bytesPushed, snap.pushCount, snap.requestCount
+	clear(f.svQ)
+	f.svQ = append(f.svQ[:0], snap.svQ...)
+	f.svHead = 0
+	clear(f.srvPool)
+	f.srvPool = append(f.srvPool[:0], snap.pool...)
+	clear(f.srvActive)
+	f.srvActive = append(f.srvActive[:0], snap.active...)
+	for i, b := range f.srvActive {
+		b.srv.Restore(&snap.srvs[i])
+		b.ep.Restore(&snap.eps[i])
+	}
+	f.ckArmed, f.ckHit = false, false
+}

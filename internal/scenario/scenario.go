@@ -209,6 +209,13 @@ func (sc Scenario) Derive(seed int64) *Conditions {
 	return c
 }
 
+// ThirdPartyVaries reports whether this run rescales third-party
+// bodies, i.e. whether ApplySiteInto returns a per-run site rather than
+// the input unchanged. The testbed's fork-at-divergence driver uses it
+// as an eligibility gate: a per-run site cannot share a checkpointed
+// prefix across runs.
+func (c *Conditions) ThirdPartyVaries() bool { return c.thirdParty.enabled() }
+
 // ApplySite realises dynamic third-party content for this run: bodies on
 // servers other than the base origin are rescaled per object. Sites
 // without third-party variability pass through unchanged. Call it at

@@ -16,6 +16,13 @@
 // once the event fires. Schedulers that post thousands of events per
 // simulated page load (the netem data plane) use AtCall to avoid both
 // the per-event closure and the per-event heap allocation.
+//
+// # Checkpointing
+//
+// Snapshot/Restore (see snapshot.go) deep-copy the kernel's run state —
+// clock, sequence counters, the queue including pooled events, and the
+// random source — into a caller-owned arena, so an engine can replay a
+// shared simulation prefix without re-executing it.
 package sim
 
 import (
@@ -28,9 +35,8 @@ import (
 //
 //repolint:pooled
 type Event struct {
-	at  time.Duration //repolint:keep overwritten by At/AtCall when the event is reused
-	seq uint64        //repolint:keep overwritten by At/AtCall when the event is reused
-	fn  func()
+	at time.Duration //repolint:keep overwritten by At/AtCall when the event is reused
+	fn func()
 
 	// Pooled (AtCall) events carry a static callback + argument instead
 	// of a closure and are recycled after firing.
@@ -38,16 +44,17 @@ type Event struct {
 	arg    any
 	pooled bool
 
-	s     *Sim //repolint:keep rebound by pushEvent; never read while free
-	index int  // heap index, -1 when not queued
+	s      *Sim  //repolint:keep rebound by pushEvent; never read while free
+	lane   *Lane //repolint:keep set once on a lane's sentinel event; nil on all others
+	queued bool  // true while a live slot in the queue references this event
 }
 
 // reset clears the callback state so a recycled Event pins nothing for
-// the garbage collector; the scheduling fields (at, seq, s) are
-// overwritten wholesale when the event is reused.
+// the garbage collector; the scheduling fields (at, s) are overwritten
+// wholesale when the event is reused.
 func (e *Event) reset() {
 	e.fn, e.cb, e.arg, e.pooled = nil, nil, nil, false
-	e.index = -1
+	e.queued = false
 }
 
 // At returns the virtual time the event is scheduled for.
@@ -56,22 +63,43 @@ func (e *Event) At() time.Duration { return e.at }
 // Cancel removes a pending event from the queue, so it neither fires nor
 // counts against Pending. Cancelling an event that already fired (or was
 // already cancelled) is a no-op.
+//
+// Cancellation is lazy: the event is only unlinked from its owner, and
+// its queue slot is discarded when it reaches the head. That keeps the
+// sift loops free of per-event bookkeeping, which is where a
+// steady-state run spends its time.
 func (e *Event) Cancel() {
-	if e.index >= 0 {
-		e.s.removeEvent(e.index)
+	if e.queued {
+		e.queued = false
+		s := e.s
+		s.live--
+		s.dead++
+		// Dead slots inflate the heap (a cancelled rtx timer would
+		// otherwise sit in the queue for a full virtual RTO), so compact
+		// once they outnumber the live events. Rebuilding produces some
+		// valid (at, seq)-heap; pops only ever take the minimum, so the
+		// pop order — and the simulation — is unaffected.
+		if s.dead > s.live+16 {
+			s.compact()
+		}
 	}
 }
 
-// The event queue is a hand-rolled 4-ary min-heap ordered by (at, seq).
-// The ordering is a strict total order (seq is unique), so the sequence
-// of popped events — and therefore every simulation — is identical to
-// any other correct priority queue; the wider fan-out just halves the
-// tree depth, which measurably cuts the pop cost that dominates a
-// steady-state run once per-run setup is amortized away.
+// The event queue is a hand-rolled 4-ary min-heap of slots ordered by
+// (at, seq). Each slot carries the ordering key inline next to the event
+// pointer, so the sift loops compare and move 24-byte values within one
+// contiguous array instead of chasing *Event pointers; the ordering is a
+// strict total order (seq is unique), so the sequence of popped events —
+// and therefore every simulation — is identical to any other correct
+// priority queue.
 
-type eventHeap []*Event
+type heapSlot struct {
+	at  time.Duration
+	seq uint64
+	ev  *Event
+}
 
-func eventLess(a, b *Event) bool {
+func slotLess(a, b *heapSlot) bool {
 	if a.at != b.at {
 		return a.at < b.at
 	}
@@ -79,92 +107,115 @@ func eventLess(a, b *Event) bool {
 }
 
 //repolint:hotpath
-func (s *Sim) pushEvent(e *Event) {
-	s.queue = append(s.queue, e)
-	e.index = len(s.queue) - 1
-	s.siftUp(e.index)
-}
-
-//repolint:hotpath
-func (s *Sim) popEvent() *Event {
-	q := s.queue
-	last := len(q) - 1
-	e := q[0]
-	q[0] = q[last]
-	q[last] = nil
-	s.queue = q[:last]
-	if last > 0 {
-		q[0].index = 0
-		s.siftDown(0)
-	}
-	e.index = -1
-	return e
-}
-
-func (s *Sim) removeEvent(i int) {
-	q := s.queue
-	last := len(q) - 1
-	e := q[i]
-	q[i] = q[last]
-	q[last] = nil
-	s.queue = q[:last]
-	if i < last {
-		q[i].index = i
-		if !s.siftDown(i) {
-			s.siftUp(i)
-		}
-	}
-	e.index = -1
-}
-
-//repolint:hotpath
-func (s *Sim) siftUp(i int) {
-	q := s.queue
-	e := q[i]
+func (s *Sim) pushEvent(at time.Duration, seq uint64, e *Event) {
+	e.queued = true
+	s.live++
+	q := append(s.queue, heapSlot{at: at, seq: seq, ev: e})
+	s.queue = q
+	// Sift up.
+	i := len(q) - 1
+	n := q[i]
 	for i > 0 {
 		p := (i - 1) / 4
-		if !eventLess(e, q[p]) {
+		if !slotLess(&n, &q[p]) {
 			break
 		}
 		q[i] = q[p]
-		q[i].index = i
 		i = p
 	}
-	q[i] = e
-	e.index = i
+	q[i] = n
 }
 
-// siftDown restores the heap below i and reports whether the event
-// moved (Cancel uses that to decide whether to sift up instead).
-//
 //repolint:hotpath
-func (s *Sim) siftDown(i int) bool {
+func (s *Sim) popSlot() heapSlot {
 	q := s.queue
-	n := len(q)
-	e := q[i]
-	i0 := i
+	last := len(q) - 1
+	top := q[0]
+	tail := q[last]
+	q[last] = heapSlot{}
+	q = q[:last]
+	s.queue = q
+	if last == 0 {
+		return top
+	}
+	// Sift the former tail down from the root.
+	i := 0
 	for {
 		c := 4*i + 1
-		if c >= n {
+		if c >= last {
 			break
 		}
 		m := c
-		end := min(c+4, n)
+		end := min(c+4, last)
 		for j := c + 1; j < end; j++ {
-			if eventLess(q[j], q[m]) {
+			if slotLess(&q[j], &q[m]) {
 				m = j
 			}
 		}
-		if !eventLess(q[m], e) {
+		if !slotLess(&q[m], &tail) {
 			break
 		}
 		q[i] = q[m]
-		q[i].index = i
 		i = m
 	}
-	q[i] = e
-	e.index = i
-	return i > i0
+	q[i] = tail
+	return top
+}
+
+// pruneDead discards cancelled slots from the head of the queue so that
+// peeking callers (Horizon checks, RunUntil) see the next live event.
+func (s *Sim) pruneDead() {
+	for len(s.queue) > 0 && !s.queue[0].ev.queued {
+		slot := s.popSlot()
+		slot.ev.s = nil
+		s.dead--
+	}
+}
+
+// compact drops every cancelled slot and re-heapifies in place.
+func (s *Sim) compact() {
+	q := s.queue
+	n := 0
+	for i := range q {
+		if q[i].ev.queued {
+			q[n] = q[i]
+			n++
+		} else {
+			q[i].ev.s = nil
+		}
+	}
+	clear(q[n:])
+	s.queue = q[:n]
+	s.dead = 0
+	for i := (n - 2) / 4; i >= 0; i-- {
+		s.siftDownFrom(i)
+	}
+}
+
+// siftDownFrom restores the heap property below slot i.
+func (s *Sim) siftDownFrom(i int) {
+	q := s.queue
+	last := len(q)
+	n := q[i]
+	for {
+		c := 4*i + 1
+		if c >= last {
+			break
+		}
+		m := c
+		end := min(c+4, last)
+		for j := c + 1; j < end; j++ {
+			if slotLess(&q[j], &q[m]) {
+				m = j
+			}
+		}
+		if !slotLess(&q[m], &n) {
+			break
+		}
+		q[i] = q[m]
+		i = m
+	}
+	q[i] = n
 }
 
 // Sim is a discrete-event simulator with a virtual clock.
@@ -173,13 +224,16 @@ func (s *Sim) siftDown(i int) bool {
 //repolint:pooled
 type Sim struct {
 	now     time.Duration
-	queue   eventHeap
-	seq     uint64
+	queue   []heapSlot
+	live    int    // queued (non-cancelled) events
+	dead    int    // cancelled slots still in the queue
+	seq     uint64 // last assigned scheduling sequence number
 	curSeq  uint64
 	rng     *rand.Rand //repolint:keep wraps src, which Reset reseeds in place
-	src     rand.Source
-	running bool     //repolint:keep Reset panics mid-Run, so this is always false when it returns
-	free    []*Event // recycled AtCall events
+	src     Source     //repolint:keep reseeded in place by Reset; captured by Snapshot
+	running bool       //repolint:keep Reset panics mid-Run, so this is always false when it returns
+	stop    bool       //repolint:keep cleared by Run on entry; transient within one Run call
+	free    []*Event   // recycled AtCall events
 	// Limit bounds the number of events processed by Run as a runaway
 	// guard. Zero means the default of 50 million events.
 	Limit int
@@ -189,8 +243,10 @@ type Sim struct {
 
 // New returns a simulator whose random source is seeded with seed.
 func New(seed int64) *Sim {
-	src := rand.NewSource(seed)
-	return &Sim{rng: rand.New(src), src: src}
+	s := &Sim{}
+	s.src.Seed64(seed)
+	s.rng = rand.New(&s.src)
+	return s
 }
 
 // Reset returns the simulator to its post-New(seed) state while keeping
@@ -203,7 +259,10 @@ func (s *Sim) Reset(seed int64) {
 	if s.running {
 		panic("sim: Reset called while running")
 	}
-	for _, e := range s.queue {
+	q := s.queue
+	for i := range q {
+		e := q[i].ev
+		q[i] = heapSlot{}
 		pooled := e.pooled
 		e.reset()
 		if pooled {
@@ -211,9 +270,11 @@ func (s *Sim) Reset(seed int64) {
 		}
 	}
 	s.queue = s.queue[:0]
+	s.live, s.dead = 0, 0
 	s.now, s.seq, s.curSeq = 0, 0, 0
 	s.Limit, s.Horizon = 0, 0
-	s.src.Seed(seed)
+	s.stop = false
+	s.src.Seed64(seed)
 }
 
 // Now returns the current virtual time.
@@ -229,8 +290,8 @@ func (s *Sim) At(t time.Duration, fn func()) *Event {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
 	}
 	s.seq++
-	e := &Event{at: t, seq: s.seq, fn: fn, s: s}
-	s.pushEvent(e)
+	e := &Event{at: t, fn: fn, s: s}
+	s.pushEvent(t, s.seq, e)
 	return e
 }
 
@@ -254,8 +315,8 @@ func (s *Sim) AtCall(t time.Duration, cb func(any), arg any) {
 	} else {
 		e = &Event{}
 	}
-	e.at, e.seq, e.cb, e.arg, e.s, e.pooled = t, s.seq, cb, arg, s, true
-	s.pushEvent(e)
+	e.at, e.cb, e.arg, e.s, e.pooled = t, cb, arg, s, true
+	s.pushEvent(t, s.seq, e)
 }
 
 // After schedules fn to run d from now. Negative d is treated as zero.
@@ -271,8 +332,9 @@ func (s *Sim) After(d time.Duration, fn func()) *Event {
 func (s *Sim) Post(fn func()) *Event { return s.At(s.now, fn) }
 
 // Pending reports the number of events currently queued. Cancelled
-// events are removed immediately and never counted.
-func (s *Sim) Pending() int { return len(s.queue) }
+// events never count (their slots are discarded lazily, but the count is
+// maintained eagerly).
+func (s *Sim) Pending() int { return s.live }
 
 // ReserveSeq consumes and returns the next scheduling sequence number
 // without queueing an event. It exists for schedulers that replace a
@@ -295,30 +357,61 @@ func (s *Sim) CurrentSeq() uint64 { return s.curSeq }
 //
 //repolint:hotpath
 func (s *Sim) Step() bool {
-	if len(s.queue) == 0 {
-		return false
+	for {
+		if len(s.queue) == 0 {
+			return false
+		}
+		slot := s.popSlot()
+		e := slot.ev
+		if !e.queued {
+			// Cancelled after scheduling: discard the slot.
+			e.s = nil
+			s.dead--
+			continue
+		}
+		e.queued = false
+		s.live--
+		s.now = slot.at
+		s.curSeq = slot.seq
+		if l := e.lane; l != nil {
+			// Lane sentinel: execute the lane head, then re-register the
+			// next head (if any) before running the callback so the
+			// callback can append to the lane.
+			le := l.pop()
+			if l.n > 0 {
+				l.arm()
+			} else {
+				l.armed = false
+			}
+			le.cb(le.arg)
+		} else if e.pooled {
+			cb, arg := e.cb, e.arg
+			e.reset()
+			s.free = append(s.free, e)
+			cb(arg)
+		} else {
+			e.fn()
+		}
+		return true
 	}
-	e := s.popEvent()
-	s.now = e.at
-	s.curSeq = e.seq
-	if e.pooled {
-		cb, arg := e.cb, e.arg
-		e.reset()
-		s.free = append(s.free, e)
-		cb(arg)
-	} else {
-		e.fn()
-	}
-	return true
 }
 
-// Run executes events until the queue drains, the event limit is hit, or
-// the horizon (if set) is passed. It returns the number of events executed.
+// Stop asks the current Run call to return after the event being
+// executed completes, leaving the remaining queue intact. The simulation
+// is then quiescent — no callback is mid-flight — which is the state
+// Snapshot requires. A subsequent Run picks up exactly where the stopped
+// one left off.
+func (s *Sim) Stop() { s.stop = true }
+
+// Run executes events until the queue drains, Stop is called, the event
+// limit is hit, or the horizon (if set) is passed. It returns the number
+// of events executed.
 func (s *Sim) Run() int {
 	if s.running {
 		panic("sim: Run called reentrantly")
 	}
 	s.running = true
+	s.stop = false
 	defer func() { s.running = false }()
 	limit := s.Limit
 	if limit == 0 {
@@ -326,9 +419,10 @@ func (s *Sim) Run() int {
 	}
 	n := 0
 	for n < limit {
-		if s.Horizon > 0 && len(s.queue) > 0 {
+		if s.Horizon > 0 {
+			s.pruneDead()
 			// Peek: stop before executing events past the horizon.
-			if s.queue[0].at > s.Horizon {
+			if len(s.queue) > 0 && s.queue[0].at > s.Horizon {
 				return n
 			}
 		}
@@ -336,6 +430,10 @@ func (s *Sim) Run() int {
 			return n
 		}
 		n++
+		if s.stop {
+			s.stop = false
+			return n
+		}
 	}
 	return n
 }
@@ -343,10 +441,18 @@ func (s *Sim) Run() int {
 // RunUntil executes events with timestamps <= t and then advances the clock
 // to exactly t.
 func (s *Sim) RunUntil(t time.Duration) {
-	for len(s.queue) > 0 && s.queue[0].at <= t {
+	for {
+		s.pruneDead()
+		if len(s.queue) == 0 || s.queue[0].at > t {
+			break
+		}
 		s.Step()
 	}
 	if t > s.now {
 		s.now = t
 	}
 }
+
+// QueueLen reports the raw slot count including lazily-cancelled slots
+// (diagnostics; Pending is the live count).
+func (s *Sim) QueueLen() int { return len(s.queue) }
