@@ -16,6 +16,12 @@
 //	pushbench -experiment scenarios                    # all scenarios
 //	pushbench -experiment scenarios -scenario lte,3g   # just these links
 //
+// The fault sweep reloads the same strategy comparison under scripted
+// fault families (link flap, server stall, GOAWAY, push resets, push
+// disable, permanent link cut) and reports how loads terminate:
+//
+//	pushbench -experiment faults -scenario dsl,satellite
+//
 // -experiment is an alias for -exp.
 //
 // For performance work, -cpuprofile and -memprofile write pprof
@@ -45,7 +51,7 @@ func main() { os.Exit(run()) }
 // or a -cpuprofile file would be left truncated and unparseable.
 func run() int {
 	var exp string
-	flag.StringVar(&exp, "exp", "all", "experiment: fig1|fig2a|fig2b|pushable|fig3a|fig3b|types|fig4|fig5|fig6|scenarios|all")
+	flag.StringVar(&exp, "exp", "all", "experiment: fig1|fig2a|fig2b|pushable|fig3a|fig3b|types|fig4|fig5|fig6|scenarios|faults|all")
 	flag.StringVar(&exp, "experiment", "all", "alias for -exp")
 	scaleName := flag.String("scale", "small", "small|paper")
 	sitesFlag := flag.String("sites", "", "comma-separated w-site ids for fig6 (default all)")
@@ -134,8 +140,9 @@ func run() int {
 		},
 		"fig6":      func() ([]*core.Table, error) { return one(core.Fig6Popular(fig6Sites, scale)) },
 		"scenarios": func() ([]*core.Table, error) { return core.ScenarioSweep(scenarios, scale) },
+		"faults":    func() ([]*core.Table, error) { return core.FaultSweep(scenarios, scale) },
 	}
-	order := []string{"fig1", "fig2a", "fig2b", "pushable", "fig3a", "fig3b", "types", "fig4", "fig5", "fig6", "scenarios"}
+	order := []string{"fig1", "fig2a", "fig2b", "pushable", "fig3a", "fig3b", "types", "fig4", "fig5", "fig6", "scenarios", "faults"}
 
 	names := []string{exp}
 	if exp == "all" {

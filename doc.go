@@ -21,7 +21,12 @@
 //   - internal/replay: the Mahimahi-style record database, recording
 //     proxy/crawler, and per-IP replay servers with SAN coalescing;
 //   - internal/browser: the deterministic browser model (preload scanner,
-//     critical rendering path, layout, paint timeline);
+//     critical rendering path, layout, paint timeline) with failure
+//     recovery — per-resource timeout budgets, bounded retry, and
+//     graceful degradation to a classified LoadOutcome;
+//   - internal/fault: the deterministic fault-injection subsystem
+//     (scripted link cuts and flaps, server stalls, mid-load GOAWAY,
+//     push resets, mid-connection push disable);
 //   - internal/strategy: all push strategies from the paper, critical-CSS
 //     extraction and majority-vote push ordering;
 //   - internal/core: the testbed orchestration, the parallel experiment
@@ -129,6 +134,51 @@
 // for ablation, goldens pin both paths, and TestForkMatchesFresh hashes
 // full per-strategy traces against fresh simulations.
 //
+// # Fault injection and recovery
+//
+// internal/fault makes failure a scripted, reproducible experiment
+// input rather than an accident. A fault.Spec lives as plain data on a
+// scenario (scenario.Scenario.Faults) and describes which failures
+// strike a load and when: the access link being cut or flapping, the
+// replay server stalling, a mid-load GOAWAY, RST_STREAM on in-flight
+// pushed streams, or the client disabling push mid-connection.
+// Spec.Derive lowers it per run into a time-sorted fault.Plan using its
+// own seed-derived RNG stream (only when jitter is requested), so
+// adding faults to a scenario never perturbs link, think-time or
+// third-party draws. A pooled fault.Injector schedules the plan on the
+// sim clock and hands each event to the testbed, which applies it
+// through the layer that owns the failure: netem cuts or resumes the
+// link, the farm stalls dispatch or injects GOAWAY/push resets, the
+// loader disables push. An empty plan schedules nothing — zero events,
+// zero sequence numbers — so the fault-free path is byte-identical to a
+// build without the subsystem, and the goldens pin that.
+//
+// The browser survives what the injector throws at it. Every load now
+// terminates with a browser.LoadOutcome — Complete (onload fired, no
+// terminal failures), Partial (the page settled or hit the horizon with
+// some resources failed), or Failed (the base document never arrived) —
+// and per-resource failure causes (timeout, reset, goaway, conn-error,
+// horizon) on the result's timings. Recovery is deterministic and
+// bounded: Config.ResourceTimeout arms a per-fetch budget (zero, the
+// default, arms nothing), failed fetches retry up to Config.MaxRetries
+// times with linear Config.RetryBackoff — re-dialling if the connection
+// died — and a pushed stream that dies before the parser wants the
+// resource just cancels the push (its delivered bytes counted as wasted)
+// so discovery re-requests normally. Terminal failures degrade
+// gracefully instead of hanging the load: parser blocks lift, CSS
+// waiters fire, deferred chains advance, and milestone metrics stay
+// defined on partial pages. When a load settles, the loader cancels its
+// remaining timers and closes its connections, so a permanently cut
+// link cannot keep retransmission timers spinning past the horizon.
+//
+// Fault-bearing runs deterministically bypass the fork-at-divergence
+// cache (conditions with a non-empty plan never fork or populate it),
+// which keeps the checkpoint contract untouched: output is still
+// byte-identical with forking on or off, at any worker-pool count.
+// pushbench -experiment faults runs the push-strategy contrast under
+// each scripted fault family and reports outcome counts, median PLT and
+// failure/waste accounting per cell.
+//
 // # Machine-checked contracts (repolint)
 //
 // The engine invariants described above are not just prose: cmd/repolint
@@ -194,7 +244,9 @@
 // regression tests (TestPageLoadAllocBudget,
 // TestRunContextReuseAllocBudget, TestFrameReaderAllocBudget);
 // scripts/bench.sh tracks the perf trajectory (BENCH_pr3.json through
-// BENCH_pr7.json).
+// BENCH_pr8.json). The peer-facing decoders (h2.FrameReader,
+// hpack.Decoder) additionally carry fuzz targets seeded from real codec
+// output; CI runs short sessions of each.
 //
 // See README.md for building, running the experiment drivers
 // (cmd/pushbench) and benchmarking. bench_test.go regenerates every

@@ -49,6 +49,15 @@ type Config struct {
 	// MaxDuration bounds a page load; incomplete loads report
 	// Completed=false with PLT clamped at the horizon.
 	MaxDuration time.Duration
+
+	// Recovery knobs (see recovery.go). ResourceTimeout is the per-fetch
+	// budget; zero (the default) disables budget timers entirely, so the
+	// fault-free configuration schedules no extra events. MaxRetries
+	// bounds re-requests of a failed fetch; RetryBackoff is the linear
+	// backoff unit (attempt k waits k*RetryBackoff).
+	ResourceTimeout time.Duration
+	MaxRetries      int
+	RetryBackoff    time.Duration
 }
 
 // DefaultConfig returns the testbed defaults (Chromium-like semantics,

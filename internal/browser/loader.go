@@ -27,6 +27,9 @@ type ResourceTiming struct {
 	Pushed bool
 	Weight uint8
 	Parent uint32
+	// Failed marks a resource that terminally failed; Cause says why.
+	Failed bool
+	Cause  FailCause
 }
 
 // Result is the outcome of one page load.
@@ -39,8 +42,14 @@ type Result struct {
 	VisuallyComplete time.Duration
 
 	Completed bool
-	Requests  int
-	Conns     int
+	// Outcome classifies the termination: Complete (onload, nothing
+	// failed), Partial (page usable, some resources failed or the
+	// horizon cut the load) or Failed (base document never arrived).
+	// Completed stays the legacy onload-fired flag.
+	Outcome         LoadOutcome
+	FailedResources int
+	Requests        int
+	Conns           int
 
 	PushedAccepted    int
 	PushedCancelled   int
@@ -70,6 +79,16 @@ type resource struct {
 	ready    bool // post-processing complete (CSS parsed, imports ready)
 	executed bool // JS ran
 
+	// Recovery state (see recovery.go): the in-flight stream and its
+	// connection, the retry count, the terminal failure mark and the
+	// pending timeout timer.
+	conn      *conn
+	cs        *h2.ClientStream
+	retries   int
+	failed    bool
+	failCause FailCause
+	tmoEv     *sim.Event
+
 	start, end time.Duration
 	bytes      int
 	body       []byte // accumulated only for entry-less CSS/JS responses
@@ -87,6 +106,7 @@ type resource struct {
 	// by every run instead of allocating per fetch.
 	onDataFn     func(chunk []byte)
 	onCompleteFn func(total int)
+	onFailFn     func(code h2.ErrCode)
 }
 
 // content returns the resource's full body once loaded. Entry-backed
@@ -104,7 +124,9 @@ type conn struct {
 	key        string
 	client     *h2.Client
 	bundle     *clientBundle
+	end        *netem.End // transport handle, for teardown on death
 	ready      bool
+	dead       bool        // terminally failed; connFor dials a replacement
 	onReady    []func()    // queued actions waiting for connectEnd (the base request)
 	pending    []*resource // queued fetches waiting for connectEnd
 	connectEnd time.Duration
@@ -185,9 +207,11 @@ type Loader struct {
 	fontTab []*resource
 	fonts   map[string]*resource
 
-	settings h2.Settings // per-run client h2 settings
-	onPushFn func(parent, promised *h2.ClientStream) bool
-	prio     h2.PriorityParam //repolint:keep scratch priority params, fully rewritten before each request
+	settings    h2.Settings // per-run client h2 settings
+	onPushFn    func(parent, promised *h2.ClientStream) bool
+	onGoAwayFn  func(cl *h2.Client, last uint32)
+	onConnErrFn func(cl *h2.Client, err h2.ConnError)
+	prio        h2.PriorityParam //repolint:keep scratch priority params, fully rewritten before each request
 
 	mi      int
 	scanIdx int // first doc.Resources index the preload scanner has not covered
@@ -218,8 +242,11 @@ type Loader struct {
 	unitPainted []bool // aligned with pp.lay.units
 	painted     float64
 	loadFired   bool
+	done        bool // terminal outcome sealed; no further retries or timers
+	failedCount int
 	horizon     *sim.Event
 	baseEntry   *replay.Entry
+	baseRes     *resource
 }
 
 // New prepares a loader for the farm's site.
@@ -243,8 +270,8 @@ func (ld *Loader) Reset(s *sim.Sim, farm *replay.Farm, cfg Config) {
 
 	// Recycle the previous run's resources and connections.
 	for _, r := range ld.active {
-		od, oc := r.onDataFn, r.onCompleteFn
-		*r = resource{ld: ld, onDataFn: od, onCompleteFn: oc}
+		od, oc, of := r.onDataFn, r.onCompleteFn, r.onFailFn
+		*r = resource{ld: ld, onDataFn: od, onCompleteFn: oc, onFailFn: of}
 		ld.resFree = append(ld.resFree, r)
 	}
 	ld.active = ld.active[:0]
@@ -273,6 +300,8 @@ func (ld *Loader) Reset(s *sim.Sim, farm *replay.Farm, cfg Config) {
 		ld.onPushFn = func(parent, promised *h2.ClientStream) bool {
 			return ld.onPush(promised)
 		}
+		ld.onGoAwayFn = ld.onGoAway
+		ld.onConnErrFn = ld.onConnError
 	}
 
 	ld.pp = nil
@@ -288,8 +317,11 @@ func (ld *Loader) Reset(s *sim.Sim, farm *replay.Farm, cfg Config) {
 	ld.unitPainted = ld.unitPainted[:0]
 	ld.painted = 0
 	ld.loadFired = false
+	ld.done = false
+	ld.failedCount = 0
 	ld.horizon = nil
 	ld.baseEntry = nil
+	ld.baseRes = nil
 }
 
 func clearedTable[T any](tab []*T, n int) []*T {
@@ -311,6 +343,7 @@ func (ld *Loader) newResource() *resource {
 	r := &resource{ld: ld}
 	r.onDataFn = func(chunk []byte) { r.ld.onChunk(r, chunk) }
 	r.onCompleteFn = func(int) { r.ld.onLoaded(r) }
+	r.onFailFn = func(code h2.ErrCode) { r.ld.onStreamFailed(r, code) }
 	return r
 }
 
@@ -345,49 +378,44 @@ func (ld *Loader) Start() {
 	}
 
 	r := ld.ensureResourceKey(base, ld.pp.baseKey, page.KindHTML)
+	ld.baseRes = r
 	r.discovered = true
 	r.requested = true
 	c := ld.connFor(base.Authority, -1)
 	issue := func() {
 		ld.res.ConnectEnd = c.connectEnd
 		ld.horizon = ld.s.At(c.connectEnd+ld.cfg.MaxDuration, func() {
-			if !ld.loadFired {
-				ld.res.Completed = false
-				ld.res.PLT = ld.cfg.MaxDuration
-				ld.finishVisuals(c.connectEnd + ld.cfg.MaxDuration)
-			}
+			ld.onHorizon(c.connectEnd)
 		})
 		r.start = ld.s.Now()
 		r.weight = weightHTML
-		ld.prio = h2.PriorityParam{ParentID: 0, Weight: weightHTML}
-		cs := c.client.Request(h2.Request{
-			Method: "GET", Scheme: base.Scheme, Authority: base.Authority, Path: base.Path,
-		}, h2.RequestOpts{
-			Priority: &ld.prio,
-			Fields:   ld.reqFieldsFor(r),
-			Pre:      ld.reqPreFor(r),
-			OnData: func(chunk []byte) {
-				ld.received += len(chunk)
-				r.bytes += len(chunk)
-				ld.preloadScan()
-				ld.advanceParser()
-			},
-			OnComplete: func(total int) {
-				ld.htmlComplete = true
-				r.loaded, r.ready, r.executed = true, true, true
-				r.end = ld.s.Now()
-				ld.advanceParser()
-				ld.checkLoad()
-			},
-		})
-		ld.res.Requests++
-		c.mainID = cs.St.ID
+		ld.issueFetch(c, r)
 	}
 	if c.ready {
 		issue()
 	} else {
 		c.onReady = append(c.onReady, issue)
 	}
+}
+
+// onHorizon seals an unfinished load at the horizon: milestone metrics
+// stay defined on the partial page, still-in-flight resources are
+// recorded as horizon failures, and the outcome is Partial when the
+// base document arrived, Failed otherwise.
+func (ld *Loader) onHorizon(connectEnd time.Duration) {
+	if ld.loadFired {
+		return
+	}
+	ld.res.Completed = false
+	ld.res.PLT = ld.cfg.MaxDuration
+	if ld.baseRes != nil && ld.baseRes.loaded {
+		ld.res.Outcome = OutcomePartial
+	} else {
+		ld.res.Outcome = OutcomeFailed
+	}
+	ld.markHorizonFailures()
+	ld.finishVisuals(connectEnd + ld.cfg.MaxDuration)
+	ld.terminate()
 }
 
 // --- resource bookkeeping ---
@@ -511,6 +539,9 @@ func (ld *Loader) fetch(r *resource, async bool) {
 	if r.requested || (r.pushed && !r.cancelled) || r.loaded {
 		return
 	}
+	if r.failed {
+		return // terminally failed; a late discovery must not revive it
+	}
 	r.requested = true
 	r.start = ld.s.Now()
 	r.weight = classWeight(r.kind, async)
@@ -536,7 +567,7 @@ func (ld *Loader) issueFetch(c *conn, r *resource) {
 	}
 	r.parent = parent
 	ld.prio = h2.PriorityParam{ParentID: parent, Weight: r.weight}
-	c.client.Request(h2.Request{
+	cs := c.client.Request(h2.Request{
 		Method: "GET", Scheme: r.url.Scheme, Authority: r.url.Authority, Path: r.url.Path,
 	}, h2.RequestOpts{
 		Priority:   &ld.prio,
@@ -545,11 +576,25 @@ func (ld *Loader) issueFetch(c *conn, r *resource) {
 		OnData:     r.onDataFn,
 		OnComplete: r.onCompleteFn,
 	})
+	cs.OnFailed = r.onFailFn
+	r.conn = c
+	r.cs = cs
+	if r == ld.baseRes {
+		c.mainID = cs.St.ID
+	}
 	ld.res.Requests++
+	ld.armTimeout(r)
 }
 
 //repolint:hotpath
 func (ld *Loader) onChunk(r *resource, chunk []byte) {
+	if r == ld.baseRes {
+		ld.received += len(chunk)
+		r.bytes += len(chunk)
+		ld.preloadScan()
+		ld.advanceParser()
+		return
+	}
 	r.bytes += len(chunk)
 	if r.entry == nil && (r.kind == page.KindCSS || r.kind == page.KindJS) {
 		r.body = append(r.body, chunk...)
@@ -569,7 +614,7 @@ func (ld *Loader) connFor(host string, group int32) *conn {
 		}
 	}
 	if group >= 0 {
-		if c := ld.connTab[group]; c != nil {
+		if c := ld.connTab[group]; c != nil && !c.dead {
 			return c
 		}
 		c := ld.dial(host, ld.in.ConnKeyOf(group))
@@ -577,7 +622,7 @@ func (ld *Loader) connFor(host string, group int32) *conn {
 		return c
 	}
 	key := ld.site.ConnKey(host)
-	if c, ok := ld.connExtra[key]; ok {
+	if c, ok := ld.connExtra[key]; ok && !c.dead {
 		return c
 	}
 	c := ld.dial(host, key)
@@ -610,8 +655,11 @@ func (ld *Loader) dial(host, key string) *conn {
 	ld.farm.Dial(host, func(end *netem.End) {
 		b := ld.getClientBundle()
 		b.cl.OnPush = ld.onPushFn
+		b.cl.OnGoAway = ld.onGoAwayFn
+		b.cl.OnConnError = ld.onConnErrFn
 		b.ep.Attach(b.cl.Core, end)
 		c.bundle = b
+		c.end = end
 		c.client = b.cl
 		c.ready = true
 		c.connectEnd = ld.s.Now()
@@ -657,6 +705,10 @@ func (ld *Loader) onPush(promised *h2.ClientStream) bool {
 	ld.res.PushedAccepted++
 	promised.OnData = r.onDataFn
 	promised.OnComplete = r.onCompleteFn
+	promised.OnFailed = r.onFailFn
+	r.conn = ld.connByClient(promised.Client)
+	r.cs = promised
+	ld.armTimeout(r)
 	return true
 }
 
@@ -785,6 +837,13 @@ func (ld *Loader) handleMilestone() {
 func (ld *Loader) blockOnScript(r *resource, offset int) {
 	ld.parserBlock = r
 	run := func() {
+		if r.failed {
+			// Failed script: nothing executes; unblock the parser.
+			ld.parserBlock = nil
+			ld.checkLoad()
+			ld.advanceParser()
+			return
+		}
 		cost := float64(len(r.content())) / ld.cfg.JSExecRate
 		if r.entry != nil {
 			cost += r.entry.Meta.ExecMS
@@ -876,6 +935,12 @@ func (ld *Loader) runDeferred(i int) {
 	}
 	r := ld.deferred[i]
 	run := func() {
+		if r.failed {
+			// Failed deferred script: skip its execution, keep the chain
+			// advancing so parserDone work still completes.
+			ld.runDeferred(i + 1)
+			return
+		}
 		cost := float64(len(r.content())) / ld.cfg.JSExecRate
 		if r.entry != nil {
 			cost += r.entry.Meta.ExecMS
@@ -915,6 +980,18 @@ func (ld *Loader) onLoaded(r *resource) {
 	}
 	r.loaded = true
 	r.end = ld.s.Now()
+	if r.tmoEv != nil {
+		r.tmoEv.Cancel()
+		r.tmoEv = nil
+	}
+	r.cs = nil
+	if r == ld.baseRes {
+		ld.htmlComplete = true
+		r.ready, r.executed = true, true
+		ld.advanceParser()
+		ld.checkLoad()
+		return
+	}
 	cbs := r.onLoaded
 	r.onLoaded = nil
 	switch r.kind {
@@ -1062,7 +1139,7 @@ func (ld *Loader) unitReady(i int, u *visualUnit) bool {
 		} else if key := ld.pp.unitImgKey[i]; key != "" {
 			r = ld.lookupResource(key)
 		}
-		if r != nil && !r.loaded {
+		if r != nil && !r.loaded && !r.failed {
 			return false
 		}
 	}
@@ -1073,7 +1150,7 @@ func (ld *Loader) unitReady(i int, u *visualUnit) bool {
 		} else {
 			fr = ld.fonts[u.fontFam]
 		}
-		if fr != nil && !fr.loaded {
+		if fr != nil && !fr.loaded && !fr.failed {
 			return false
 		}
 		// If the font-face is not yet known, any pending CSS keeps the
@@ -1120,11 +1197,11 @@ func (ld *Loader) tryPaint() {
 //
 //repolint:hotpath
 func (ld *Loader) checkLoad() {
-	if ld.loadFired || !ld.parserDone {
+	if ld.done || ld.loadFired || !ld.parserDone {
 		return
 	}
 	for _, r := range ld.active {
-		if !r.discovered || r.cancelled {
+		if !r.discovered || r.cancelled || r.failed {
 			continue
 		}
 		if !r.loaded || !r.ready || !r.executed {
@@ -1136,10 +1213,16 @@ func (ld *Loader) checkLoad() {
 	ld.res.OnLoadAt = now
 	ld.res.PLT = now - ld.res.ConnectEnd
 	ld.res.Completed = true
+	if ld.failedCount == 0 {
+		ld.res.Outcome = OutcomeComplete
+	} else {
+		ld.res.Outcome = OutcomePartial
+	}
 	if ld.horizon != nil {
 		ld.horizon.Cancel()
 	}
 	ld.finishVisuals(now)
+	ld.terminate()
 }
 
 // finishVisuals computes SpeedIndex and final stats.
@@ -1170,6 +1253,7 @@ func (ld *Loader) finishVisuals(endAt time.Duration) {
 			URL: r.key, Kind: r.kind, Start: r.start, End: r.end,
 			Bytes: r.bytes, Pushed: r.pushed && !r.cancelled,
 			Weight: r.weight, Parent: r.parent,
+			Failed: r.failed, Cause: r.failCause,
 		})
 	}
 	slices.SortFunc(ld.res.Timings, func(a, b ResourceTiming) int {
@@ -1179,3 +1263,5 @@ func (ld *Loader) finishVisuals(endAt time.Duration) {
 		return cmp.Compare(a.URL, b.URL)
 	})
 }
+
+var dbgHorizon func(*Loader)

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/h2"
 	"repro/internal/metrics"
+	"repro/internal/netem"
 	"repro/internal/page"
 	"repro/internal/replay"
 	"repro/internal/sim"
@@ -34,6 +35,12 @@ type resourceState struct {
 	loaded      bool
 	ready       bool
 	executed    bool
+	conn        *conn
+	cs          *h2.ClientStream
+	retries     int
+	failed      bool
+	failCause   FailCause
+	tmoEv       *sim.Event
 	start, end  time.Duration
 	bytes       int
 	body        []byte
@@ -48,6 +55,7 @@ type resourceState struct {
 
 func scrubResourceState(ss *resourceState) {
 	ss.r, ss.entry, ss.body = nil, nil, nil
+	ss.conn, ss.cs, ss.tmoEv = nil, nil, nil
 	ss.url, ss.key = page.URL{}, ""
 	clear(ss.onLoaded)
 	ss.onLoaded = ss.onLoaded[:0]
@@ -61,6 +69,8 @@ func (r *resource) snapshot(ss *resourceState) {
 	ss.kind, ss.entry = r.kind, r.entry
 	ss.discovered, ss.requested, ss.pushed, ss.cancelled = r.discovered, r.requested, r.pushed, r.cancelled
 	ss.loaded, ss.ready, ss.executed = r.loaded, r.ready, r.executed
+	ss.conn, ss.cs, ss.retries = r.conn, r.cs, r.retries
+	ss.failed, ss.failCause, ss.tmoEv = r.failed, r.failCause, r.tmoEv
 	ss.start, ss.end, ss.bytes = r.start, r.end, r.bytes
 	// body grows monotonically within a run (never truncated until the
 	// struct is recycled), so the slice header alone is an exact capture:
@@ -79,12 +89,14 @@ func (r *resource) restore(ld *Loader, ss *resourceState) {
 	r.kind, r.entry = ss.kind, ss.entry
 	r.discovered, r.requested, r.pushed, r.cancelled = ss.discovered, ss.requested, ss.pushed, ss.cancelled
 	r.loaded, r.ready, r.executed = ss.loaded, ss.ready, ss.executed
+	r.conn, r.cs, r.retries = ss.conn, ss.cs, ss.retries
+	r.failed, r.failCause, r.tmoEv = ss.failed, ss.failCause, ss.tmoEv
 	r.start, r.end, r.bytes = ss.start, ss.end, ss.bytes
 	r.body = ss.body
 	r.weight, r.parent, r.pendingImps = ss.weight, ss.parent, ss.pendingImps
 	r.onLoaded = restoreCBs(r.onLoaded, ss.onLoaded, ss.hasLoadCBs)
 	r.cssReadyCBs = restoreCBs(r.cssReadyCBs, ss.cssReadyCBs, ss.hasCSSCBs)
-	// onDataFn/onCompleteFn are persistent per-struct and untouched.
+	// onDataFn/onCompleteFn/onFailFn are persistent per-struct and untouched.
 }
 
 // restoreCBs rebuilds a callback list, preserving the nil-vs-empty
@@ -104,7 +116,9 @@ type connState struct {
 	key        string
 	client     *h2.Client
 	bundle     *clientBundle
+	end        *netem.End
 	ready      bool
+	dead       bool
 	onReady    []func()
 	pending    []*resource
 	connectEnd time.Duration
@@ -114,7 +128,7 @@ type connState struct {
 }
 
 func scrubConnState(cs *connState) {
-	cs.c, cs.client, cs.bundle = nil, nil, nil
+	cs.c, cs.client, cs.bundle, cs.end = nil, nil, nil, nil
 	cs.key = ""
 	clear(cs.onReady)
 	cs.onReady = cs.onReady[:0]
@@ -165,8 +179,10 @@ type LoaderSnapshot struct {
 	fontTab []*resource
 	fonts   []kvRes
 
-	settings h2.Settings
-	onPushFn func(parent, promised *h2.ClientStream) bool
+	settings    h2.Settings
+	onPushFn    func(parent, promised *h2.ClientStream) bool
+	onGoAwayFn  func(cl *h2.Client, last uint32)
+	onConnErrFn func(cl *h2.Client, err h2.ConnError)
 
 	mi      int
 	scanIdx int
@@ -192,8 +208,11 @@ type LoaderSnapshot struct {
 	unitPainted []bool
 	painted     float64
 	loadFired   bool
+	done        bool
+	failedCount int
 	horizon     *sim.Event
 	baseEntry   *replay.Entry
+	baseRes     *resource
 }
 
 // Snapshot copies the loader's run state into dst.
@@ -227,6 +246,7 @@ func (ld *Loader) Snapshot(dst *LoaderSnapshot) {
 	for i, c := range ld.connActive {
 		cs := &dst.connActive[i]
 		cs.c, cs.key, cs.client, cs.bundle = c, c.key, c.client, c.bundle
+		cs.end, cs.dead = c.end, c.dead
 		cs.ready, cs.connectEnd, cs.mainID = c.ready, c.connectEnd, c.mainID
 		cs.onReady = append(cs.onReady[:0], c.onReady...)
 		cs.pending = append(cs.pending[:0], c.pending...)
@@ -246,6 +266,7 @@ func (ld *Loader) Snapshot(dst *LoaderSnapshot) {
 	}
 
 	dst.settings, dst.onPushFn = ld.settings, ld.onPushFn
+	dst.onGoAwayFn, dst.onConnErrFn = ld.onGoAwayFn, ld.onConnErrFn
 
 	dst.mi, dst.scanIdx = ld.mi, ld.scanIdx
 	dst.received, dst.htmlComplete, dst.parsePos = ld.received, ld.htmlComplete, ld.parsePos
@@ -261,7 +282,9 @@ func (ld *Loader) Snapshot(dst *LoaderSnapshot) {
 	dst.mainHost = ld.mainHost
 	dst.unitPainted = append(dst.unitPainted[:0], ld.unitPainted...)
 	dst.painted, dst.loadFired = ld.painted, ld.loadFired
+	dst.done, dst.failedCount = ld.done, ld.failedCount
 	dst.horizon, dst.baseEntry = ld.horizon, ld.baseEntry
+	dst.baseRes = ld.baseRes
 }
 
 // growStates extends dst to n entries, keeping each entry's inner slice
@@ -303,8 +326,8 @@ func (ld *Loader) Restore(snap *LoaderSnapshot) {
 	clear(ld.resFree)
 	ld.resFree = ld.resFree[:0]
 	for _, r := range snap.resFree {
-		od, oc := r.onDataFn, r.onCompleteFn
-		*r = resource{ld: ld, onDataFn: od, onCompleteFn: oc}
+		od, oc, of := r.onDataFn, r.onCompleteFn, r.onFailFn
+		*r = resource{ld: ld, onDataFn: od, onCompleteFn: oc, onFailFn: of}
 		ld.resFree = append(ld.resFree, r)
 	}
 
@@ -316,6 +339,7 @@ func (ld *Loader) Restore(snap *LoaderSnapshot) {
 		cs := &snap.connActive[i]
 		c := cs.c
 		c.key, c.client, c.bundle = cs.key, cs.client, cs.bundle
+		c.end, c.dead = cs.end, cs.dead
 		c.ready, c.connectEnd, c.mainID = cs.ready, cs.connectEnd, cs.mainID
 		clear(c.onReady)
 		c.onReady = append(c.onReady[:0], cs.onReady...)
@@ -342,6 +366,7 @@ func (ld *Loader) Restore(snap *LoaderSnapshot) {
 	restoreResMap(&ld.fonts, snap.fonts)
 
 	ld.settings, ld.onPushFn = snap.settings, snap.onPushFn
+	ld.onGoAwayFn, ld.onConnErrFn = snap.onGoAwayFn, snap.onConnErrFn
 
 	ld.mi, ld.scanIdx = snap.mi, snap.scanIdx
 	ld.received, ld.htmlComplete, ld.parsePos = snap.received, snap.htmlComplete, snap.parsePos
@@ -358,7 +383,9 @@ func (ld *Loader) Restore(snap *LoaderSnapshot) {
 	ld.mainHost = snap.mainHost
 	ld.unitPainted = append(ld.unitPainted[:0], snap.unitPainted...)
 	ld.painted, ld.loadFired = snap.painted, snap.loadFired
+	ld.done, ld.failedCount = snap.done, snap.failedCount
 	ld.horizon, ld.baseEntry = snap.horizon, snap.baseEntry
+	ld.baseRes = snap.baseRes
 }
 
 func clearRestore[T any](dst, src []*T) []*T {

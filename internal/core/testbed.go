@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"repro/internal/browser"
+	"repro/internal/fault"
 	"repro/internal/metrics"
 	"repro/internal/netem"
 	"repro/internal/replay"
@@ -147,6 +148,10 @@ type RunContext struct {
 	farm    *replay.Farm
 	ld      *browser.Loader
 	overlay scenario.SiteScratch
+	// inj schedules the run's fault plan (if any) on the sim clock;
+	// applyFn is the once-built dispatch closure it hands each event to.
+	inj     fault.Injector
+	applyFn func(fault.Event)
 	// fork, when non-nil, enables fork-at-divergence checkpoint reuse
 	// across the runs this context executes (see fork.go). Entries
 	// alias the context's pooled object graph, so the cache is strictly
@@ -156,6 +161,25 @@ type RunContext struct {
 
 // NewRunContext returns an empty context; the first run populates it.
 func NewRunContext() *RunContext { return &RunContext{} }
+
+// applyFault dispatches one scheduled fault event onto the layer it
+// targets: the emulated link, the server farm or the browser.
+func (rc *RunContext) applyFault(e fault.Event) {
+	switch e.Kind {
+	case fault.KindLinkCut, fault.KindLinkDown:
+		rc.net.CutLink()
+	case fault.KindLinkUp:
+		rc.net.ResumeLink()
+	case fault.KindServerStall:
+		rc.farm.Stall(e.Dur)
+	case fault.KindGoAway:
+		rc.farm.InjectGoAway()
+	case fault.KindPushReset:
+		rc.farm.InjectPushResets()
+	case fault.KindDisablePush:
+		rc.ld.DisablePush()
+	}
+}
 
 // RunOnce performs a single page load of site under plan. All
 // perturbation — link jitter, loss, server think time, third-party
@@ -182,9 +206,11 @@ func (tb *Testbed) RunOnceWith(rc *RunContext, site *replay.Site, plan replay.Pl
 		cfg.JitterFrac = 0
 	}
 	fork := rc.fork
-	if fork != nil && (tb.NoFork || cond.ThirdPartyVaries()) {
+	if fork != nil && (tb.NoFork || cond.ThirdPartyVaries() || cond.FaultsActive()) {
 		// Per-run third-party realisation makes the site itself a
-		// function of the seed, so no prefix is shareable.
+		// function of the seed, so no prefix is shareable; fault-bearing
+		// runs perturb the shared prefix (an injector event can land
+		// before the divergence point), so they bypass the cache too.
 		fork = nil
 		forkBypassed.Add(1)
 	}
@@ -228,6 +254,13 @@ func (tb *Testbed) RunOnceWith(rc *RunContext, site *replay.Site, plan replay.Pl
 	}
 	if fork != nil {
 		rc.farm.ArmCheckpoint()
+	}
+	if cond.FaultsActive() {
+		if rc.applyFn == nil {
+			rc.applyFn = rc.applyFault
+		}
+		rc.inj.Reset(rc.sim, rc.applyFn)
+		rc.inj.Arm(cond.Faults)
 	}
 	rc.ld.Start()
 	rc.sim.Run()

@@ -22,15 +22,19 @@ type ClientStream struct {
 
 	// Callbacks; all optional. OnData receives each body chunk. OnComplete
 	// fires when the response (headers+body) finished, with the total
-	// body length.
+	// body length. OnFailed fires instead of OnComplete when the peer
+	// resets the stream (RST_STREAM) before it completes; a stream fails
+	// or finishes, never both.
 	OnResponse func(resp Response)
 	OnData     func(chunk []byte)
 	OnComplete func(totalBody int)
+	OnFailed   func(code ErrCode)
 
 	resp     Response
 	gotResp  bool
 	bodyLen  int
 	complete bool
+	failed   bool
 }
 
 // BodyLen returns body bytes received so far.
@@ -42,6 +46,19 @@ func (cs *ClientStream) Completed() bool { return cs.complete }
 // Cancel resets the stream (e.g. rejecting an unwanted push).
 func (cs *ClientStream) Cancel() { cs.St.Reset(ErrCodeCancel) }
 
+// Failed reports whether the peer reset the stream before completion.
+func (cs *ClientStream) Failed() bool { return cs.failed }
+
+func (cs *ClientStream) fail(code ErrCode) {
+	if cs.complete || cs.failed {
+		return
+	}
+	cs.failed = true
+	if cs.OnFailed != nil {
+		cs.OnFailed(code)
+	}
+}
+
 // Client wraps a client-side Core with request and push-handling helpers.
 //
 //repolint:pooled
@@ -52,6 +69,12 @@ type Client struct {
 	// may install OnResponse/OnData/OnComplete on the promised stream.
 	// A nil OnPush accepts all pushes.
 	OnPush func(parent *ClientStream, promised *ClientStream) (accept bool)
+	// OnGoAway fires when the peer sends GOAWAY: streams above
+	// lastStreamID were not and will not be processed. OnConnError fires
+	// when the connection dies on a protocol violation. Both are cleared
+	// by Reset, like OnPush.
+	OnGoAway    func(cl *Client, lastStreamID uint32)
+	OnConnError func(cl *Client, err ConnError)
 
 	// issued/free recycle ClientStream wrappers across connections on a
 	// pooled client (see Reset).
@@ -105,6 +128,21 @@ func NewClient(local Settings) *Client {
 		}
 	}
 	c.Core.OnPushPromise = clientOnPushPromise(c)
+	c.Core.OnRST = func(st *Stream, code ErrCode) {
+		if cs, _ := st.User.(*ClientStream); cs != nil {
+			cs.fail(code)
+		}
+	}
+	c.Core.OnGoAway = func(f *GoAwayFrame) {
+		if c.OnGoAway != nil {
+			c.OnGoAway(c, f.LastStreamID)
+		}
+	}
+	c.Core.OnConnError = func(err ConnError) {
+		if c.OnConnError != nil {
+			c.OnConnError(c, err)
+		}
+	}
 	return c
 }
 
@@ -130,7 +168,7 @@ func clientOnPushPromise(c *Client) func(parent, promised *Stream, fields []hpac
 // installed by NewClient are kept, OnPush is cleared.
 func (c *Client) Reset(local Settings) {
 	c.Core.Reset(local)
-	c.OnPush = nil
+	c.OnPush, c.OnGoAway, c.OnConnError = nil, nil, nil
 	for _, cs := range c.issued {
 		*cs = ClientStream{}
 		c.free = append(c.free, cs)

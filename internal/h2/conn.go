@@ -231,6 +231,14 @@ type Core struct {
 	goingAway  bool
 	prefaceGot int // client preface bytes consumed (server side)
 
+	// pushWasEnabled records that this side ever advertised ENABLE_PUSH=1.
+	// A PUSH_PROMISE arriving after a mid-connection disable (racing our
+	// SETTINGS on the wire) is then a per-stream refusal, not the
+	// connection error an always-disabled endpoint must raise (RFC 7540
+	// 6.6 only demands the connection error once the setting was
+	// acknowledged).
+	pushWasEnabled bool
+
 	// continuation reassembly state
 	cont *contState
 
@@ -276,6 +284,7 @@ func NewCore(isServer bool, local Settings) *Core {
 		Tree:       NewPriorityTree(),
 	}
 	c.sendableFn = c.sendable
+	c.pushWasEnabled = local.EnablePush
 	c.hdec.SetAllowedMaxDynamicTableSize(local.HeaderTableSize)
 	if isServer {
 		c.nextLocalID = 2
@@ -321,6 +330,7 @@ func (c *Core) Reset(local Settings) {
 	}
 	c.ctrl, c.ctrlHead = c.ctrl[:0], 0
 	c.started, c.goingAway, c.prefaceGot = false, false, 0
+	c.pushWasEnabled = local.EnablePush
 	c.cont = nil
 	if c.IsServer {
 		c.nextLocalID = 2
@@ -519,6 +529,60 @@ func (c *Core) connError(code ErrCode, msg string) {
 	}
 }
 
+// GoAway initiates a local shutdown of the connection: a GOAWAY frame
+// carrying the highest peer stream ID processed is queued (and still
+// flushes through the normal send path), and the core stops processing
+// further input. Fault injection uses it to kill a healthy connection
+// mid-load; unlike connError it is not an error locally, so OnConnError
+// does not fire.
+func (c *Core) GoAway(code ErrCode) {
+	if c.goingAway {
+		return
+	}
+	c.goingAway = true
+	c.queueCtrl(&GoAwayFrame{LastStreamID: c.lastPeerID, Code: code})
+}
+
+// GoingAway reports whether the connection is shutting down (GOAWAY sent
+// or received, or a connection error raised).
+func (c *Core) GoingAway() bool { return c.goingAway }
+
+// SetEnablePush changes our advertised ENABLE_PUSH mid-connection,
+// announcing it to the peer with a single-parameter SETTINGS frame. A
+// client uses it to turn push off while a connection is live; promises
+// already racing toward us are refused per stream (see finishPushPromise)
+// rather than treated as a connection error.
+func (c *Core) SetEnablePush(enabled bool) {
+	if c.local.EnablePush == enabled {
+		return
+	}
+	c.local.EnablePush = enabled
+	if enabled {
+		c.pushWasEnabled = true
+	}
+	v := uint32(0)
+	if enabled {
+		v = 1
+	}
+	c.setScratch.Ack = false
+	c.setScratch.Params = append(c.setScratch.Params[:0], Setting{SettingEnablePush, v})
+	c.queueCtrl(&c.setScratch)
+}
+
+// AbortPushes resets every live pushed stream with code (fault
+// injection: a server abandoning its in-flight pushes mid-load) and
+// returns the number reset.
+func (c *Core) AbortPushes(code ErrCode) int {
+	n := 0
+	for _, st := range c.evenStreams {
+		if st != nil && st.IsPush && st.State != StateClosed {
+			st.Reset(code)
+			n++
+		}
+	}
+	return n
+}
+
 func (c *Core) newStream(id uint32, state StreamState) *Stream {
 	var st *Stream
 	if n := len(c.freeStreams); n > 0 {
@@ -555,6 +619,22 @@ func (c *Core) closeStream(st *Stream) {
 	st.outChunks, st.outHead, st.outOff, st.outLen = st.outChunks[:0], 0, 0, 0
 	c.delStream(st.ID)
 	c.Tree.Remove(st.ID)
+	c.releaseGatesOn(st)
+}
+
+// releaseGatesOn clears interleave resume gates waiting on st. Called on
+// both completion (finishOut) and abnormal close (reset, abort): a gate
+// waiting on a dead stream would otherwise pause its holder forever —
+// an aborted pushed child must not wedge the interleaved base document.
+func (c *Core) releaseGatesOn(st *Stream) {
+	c.forEachStream(func(other *Stream) {
+		if other.resumeOn != nil && other.resumeOn[st.ID] {
+			delete(other.resumeOn, st.ID)
+			if len(other.resumeOn) == 0 {
+				other.Resume()
+			}
+		}
+	})
 }
 
 // --- client-side API ---
@@ -969,9 +1049,12 @@ func (c *Core) handlePushPromise(f *PushPromiseFrame) {
 		c.connError(ErrCodeProtocol, "client sent PUSH_PROMISE")
 		return
 	}
-	if !c.local.EnablePush {
-		// We disabled push; a compliant server must not push. Treat as a
-		// connection error per RFC 7540 6.6.
+	if !c.local.EnablePush && !c.pushWasEnabled {
+		// Push was never enabled on this connection; a compliant server
+		// must not push. Treat as a connection error per RFC 7540 6.6. A
+		// mid-connection disable instead refuses racing promises per
+		// stream in finishPushPromise, after the header block has fed the
+		// HPACK decoder (skipping the decode would desync the table).
 		c.connError(ErrCodeProtocol, "PUSH_PROMISE with push disabled")
 		return
 	}
@@ -991,6 +1074,13 @@ func (c *Core) finishPushPromise(parentID, promisedID uint32, block []byte) {
 	fields, err := c.hdec.DecodeBlock(block)
 	if err != nil {
 		c.connError(ErrCodeCompression, err.Error())
+		return
+	}
+	if !c.local.EnablePush {
+		// Push disabled mid-connection: this promise raced our SETTINGS on
+		// the wire. Refuse it per stream (the decode above kept the HPACK
+		// table in sync).
+		c.queueCtrl(&RSTStreamFrame{StreamID: promisedID, Code: ErrCodeRefusedStream})
 		return
 	}
 	parent := c.getStream(parentID)
@@ -1270,13 +1360,5 @@ func (c *Core) finishOut(st *Stream) {
 	if c.OnStreamSent != nil {
 		c.OnStreamSent(st)
 	}
-	// Clear resume gates referencing this stream.
-	c.forEachStream(func(other *Stream) {
-		if other.resumeOn != nil && other.resumeOn[st.ID] {
-			delete(other.resumeOn, st.ID)
-			if len(other.resumeOn) == 0 {
-				other.Resume()
-			}
-		}
-	})
+	c.releaseGatesOn(st)
 }

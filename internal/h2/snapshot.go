@@ -251,9 +251,10 @@ type CoreSnapshot struct {
 	ctrl     [][]byte
 	ctrlHead int
 
-	started    bool
-	goingAway  bool
-	prefaceGot int
+	started        bool
+	goingAway      bool
+	prefaceGot     int
+	pushWasEnabled bool
 
 	hasCont bool
 	cont    contSnap
@@ -293,6 +294,7 @@ func (c *Core) Snapshot(dst *CoreSnapshot) {
 	dst.ctrlHead = c.ctrlHead
 
 	dst.started, dst.goingAway, dst.prefaceGot = c.started, c.goingAway, c.prefaceGot
+	dst.pushWasEnabled = c.pushWasEnabled
 
 	dst.hasCont = c.cont != nil
 	if cs := c.cont; cs != nil {
@@ -357,6 +359,7 @@ func (c *Core) Restore(snap *CoreSnapshot) {
 	c.ctrlHead = snap.ctrlHead
 
 	c.started, c.goingAway, c.prefaceGot = snap.started, snap.goingAway, snap.prefaceGot
+	c.pushWasEnabled = snap.pushWasEnabled
 
 	if !snap.hasCont {
 		c.cont = nil
@@ -390,10 +393,12 @@ type clientStreamState struct {
 	onResponse func(resp Response)
 	onData     func(chunk []byte)
 	onComplete func(totalBody int)
+	onFailed   func(code ErrCode)
 	resp       Response
 	gotResp    bool
 	bodyLen    int
 	complete   bool
+	failed     bool
 }
 
 func scrubClientStreamState(s *clientStreamState) {
@@ -402,23 +407,27 @@ func scrubClientStreamState(s *clientStreamState) {
 
 // ClientSnapshot is a deep copy of a Client's connection state.
 type ClientSnapshot struct {
-	core   CoreSnapshot
-	onPush func(parent, promised *ClientStream) bool
-	issued []clientStreamState
-	free   []*ClientStream
+	core        CoreSnapshot
+	onPush      func(parent, promised *ClientStream) bool
+	onGoAway    func(cl *Client, lastStreamID uint32)
+	onConnError func(cl *Client, err ConnError)
+	issued      []clientStreamState
+	free        []*ClientStream
 }
 
 // Snapshot copies the client's connection state into dst.
 func (c *Client) Snapshot(dst *ClientSnapshot) {
 	c.Core.Snapshot(&dst.core)
 	dst.onPush = c.OnPush
+	dst.onGoAway, dst.onConnError = c.OnGoAway, c.OnConnError
 	dst.issued = growStates(dst.issued, len(c.issued), scrubClientStreamState)
 	for i, cs := range c.issued {
 		s := &dst.issued[i]
 		s.cs, s.st, s.req, s.pushed = cs, cs.St, cs.Req, cs.Pushed
 		s.onResponse, s.onData, s.onComplete = cs.OnResponse, cs.OnData, cs.OnComplete
+		s.onFailed = cs.OnFailed
 		s.resp, s.gotResp = cs.resp, cs.gotResp
-		s.bodyLen, s.complete = cs.bodyLen, cs.complete
+		s.bodyLen, s.complete, s.failed = cs.bodyLen, cs.complete, cs.failed
 	}
 	dst.free = append(dst.free[:0], c.free...)
 }
@@ -427,6 +436,7 @@ func (c *Client) Snapshot(dst *ClientSnapshot) {
 func (c *Client) Restore(snap *ClientSnapshot) {
 	c.Core.Restore(&snap.core)
 	c.OnPush = snap.onPush
+	c.OnGoAway, c.OnConnError = snap.onGoAway, snap.onConnError
 	clear(c.issued)
 	c.issued = c.issued[:0]
 	for i := range snap.issued {
@@ -434,8 +444,9 @@ func (c *Client) Restore(snap *ClientSnapshot) {
 		cs := s.cs
 		cs.Client, cs.St, cs.Req, cs.Pushed = c, s.st, s.req, s.pushed
 		cs.OnResponse, cs.OnData, cs.OnComplete = s.onResponse, s.onData, s.onComplete
+		cs.OnFailed = s.onFailed
 		cs.resp, cs.gotResp = s.resp, s.gotResp
-		cs.bodyLen, cs.complete = s.bodyLen, s.complete
+		cs.bodyLen, cs.complete, cs.failed = s.bodyLen, s.complete, s.failed
 		c.issued = append(c.issued, cs)
 	}
 	clear(c.free)

@@ -130,6 +130,7 @@ type pipe struct {
 	rate      Rate
 	prop      time.Duration
 	limit     int
+	cut       bool // fault injection: a cut pipe tail-drops every non-forced admission
 	busyUntil time.Duration
 	queued    int
 
@@ -152,7 +153,7 @@ type pipe struct {
 //repolint:hotpath
 func (p *pipe) admit(size int, force bool) (time.Duration, bool) {
 	p.releaseExpired()
-	if !force && p.limit > 0 && p.queued+size > p.limit {
+	if !force && (p.cut || (p.limit > 0 && p.queued+size > p.limit)) {
 		p.dropped++
 		return 0, false
 	}
@@ -259,11 +260,56 @@ func (n *Network) Reset(prof Profile) {
 // reset clears one direction's queue/stat state for a new run.
 func (p *pipe) reset(rate Rate, prop time.Duration, limit int) {
 	p.rate, p.prop, p.limit = rate, prop, limit
+	p.cut = false
 	p.busyUntil, p.queued = 0, 0
 	p.pending, p.phead = p.pending[:0], 0
 	p.delivered, p.dropped = 0, 0
 	p.lane.Reset()
 }
+
+// Cut marks the pipe down. While cut, every non-forced admission
+// tail-drops, so senders recover through the normal retransmit path once
+// Resume re-opens the link. Forced admissions (ACKs) still pass — the
+// model has no ACK-loss recovery (see admit), so a cut link starves data
+// segments but never strands the ACK clock.
+func (p *pipe) Cut() { p.cut = true }
+
+// Resume re-opens a cut pipe.
+func (p *pipe) Resume() { p.cut = false }
+
+// Stall pushes the pipe's serializer busy horizon forward by d: every
+// admission from now on serializes only after the stall window ends.
+// Segments whose delivery was already scheduled are unaffected (they
+// were on the wire). Nothing is dropped; the stall adds queueing delay.
+func (p *pipe) Stall(d time.Duration) {
+	if now := p.s.Now(); p.busyUntil < now {
+		p.busyUntil = now
+	}
+	p.busyUntil += d
+}
+
+// CutLink cuts both directions of the access link (fault injection).
+func (n *Network) CutLink() {
+	n.down.Cut()
+	n.up.Cut()
+}
+
+// ResumeLink re-opens both directions of a cut access link.
+func (n *Network) ResumeLink() {
+	n.down.Resume()
+	n.up.Resume()
+}
+
+// StallLink freezes both directions' serializers for d without dropping
+// anything (fault injection: a link-layer outage shorter than the
+// retransmit timers would notice).
+func (n *Network) StallLink(d time.Duration) {
+	n.down.Stall(d)
+	n.up.Stall(d)
+}
+
+// LinkDown reports whether the link is currently cut.
+func (n *Network) LinkDown() bool { return n.down.cut || n.up.cut }
 
 // DownlinkDelivered returns total bytes delivered client-ward, for tests.
 func (n *Network) DownlinkDelivered() int64 { return n.down.delivered }
@@ -329,6 +375,7 @@ type End struct {
 	out     *halfConn // sender state for this end's outgoing direction
 	recv    func([]byte)
 	onClose func()
+	onError func(error)
 }
 
 // segment is one MSS-sized (or smaller) unit in flight. Its payload is a
@@ -696,9 +743,7 @@ func (c *Conn) Close() {
 	if c.closed {
 		return
 	}
-	c.closed = true
-	c.clientEnd.out.closeHalf()
-	c.serverEnd.out.closeHalf()
+	c.teardown()
 	if c.clientEnd.onClose != nil {
 		c.clientEnd.onClose()
 	}
@@ -707,15 +752,51 @@ func (c *Conn) Close() {
 	}
 }
 
+// Abort tears the connection down like Close and additionally surfaces
+// err to both ends' error callbacks (before the close callbacks), so
+// protocol layers on either half learn the transport died under them
+// rather than drained. Fault injection and the loader's give-up path use
+// it; Close remains the graceful end-of-load teardown.
+func (c *Conn) Abort(err error) {
+	if c.closed {
+		return
+	}
+	c.teardown()
+	if c.clientEnd.onError != nil {
+		c.clientEnd.onError(err)
+	}
+	if c.serverEnd.onError != nil {
+		c.serverEnd.onError(err)
+	}
+	if c.clientEnd.onClose != nil {
+		c.clientEnd.onClose()
+	}
+	if c.serverEnd.onClose != nil {
+		c.serverEnd.onClose()
+	}
+}
+
+// teardown is the shared Close/Abort state transition: no new writes, no
+// new retransmit timers, in-flight segments still drain.
+func (c *Conn) teardown() {
+	c.closed = true
+	c.clientEnd.out.closeHalf()
+	c.serverEnd.out.closeHalf()
+}
+
+// Closed reports whether the connection has been closed or aborted.
+func (c *Conn) Closed() bool { return c.closed }
+
 // Write queues b for transmission to the peer end. Ownership of b
 // transfers to the transport: the bytes are delivered to the receiver as
 // zero-copy subslices, so the caller must not mutate b after Write.
+//
+// Writes on a closed or not-yet-established connection are dropped (the
+// transport refuses the bytes rather than panicking: under fault
+// injection an upper layer can race a teardown it has not yet observed).
 func (e *End) Write(b []byte) {
-	if e.conn.closed || len(b) == 0 {
+	if e.conn.closed || !e.conn.established || len(b) == 0 {
 		return
-	}
-	if !e.conn.established {
-		panic("netem: Write before connect")
 	}
 	e.out.write(b)
 }
@@ -723,9 +804,11 @@ func (e *End) Write(b []byte) {
 // WriteV queues several chunks as one contiguous write, pumping the
 // congestion window once: segmentation is identical to a single Write of
 // the concatenated bytes, without the concatenation. Ownership of every
-// chunk transfers to the transport (see Write). Empty chunks are skipped.
+// chunk transfers to the transport (see Write). Empty chunks are
+// skipped; like Write, the whole call is dropped on a closed or
+// not-yet-established connection.
 func (e *End) WriteV(chunks [][]byte) {
-	if e.conn.closed {
+	if e.conn.closed || !e.conn.established {
 		return
 	}
 	total := 0
@@ -734,9 +817,6 @@ func (e *End) WriteV(chunks [][]byte) {
 	}
 	if total == 0 {
 		return
-	}
-	if !e.conn.established {
-		panic("netem: Write before connect")
 	}
 	e.out.writev(chunks)
 }
@@ -762,6 +842,20 @@ func (e *End) SetOnDrain(fn func()) { e.out.onDrain = fn }
 
 // SetOnClose installs a teardown callback.
 func (e *End) SetOnClose(fn func()) { e.onClose = fn }
+
+// SetOnError installs a callback surfacing transport aborts (see
+// Conn.Abort) to this end's protocol layer.
+func (e *End) SetOnError(fn func(error)) { e.onError = fn }
+
+// Conn returns the connection this end belongs to, so a layer holding
+// only an endpoint can close or abort the whole connection.
+func (e *End) Conn() *Conn { return e.conn }
+
+// Close closes the owning connection (graceful; see Conn.Close).
+func (e *End) Close() { e.conn.Close() }
+
+// Abort aborts the owning connection (see Conn.Abort).
+func (e *End) Abort(err error) { e.conn.Abort(err) }
 
 // Stats for tests and ablations.
 func (e *End) SentBytes() int64  { return e.out.sent }

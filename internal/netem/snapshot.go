@@ -27,6 +27,7 @@ type pipeState struct {
 	rate      Rate
 	prop      time.Duration
 	limit     int
+	cut       bool
 	busyUntil time.Duration
 	queued    int
 	pending   []pendingRelease
@@ -36,7 +37,7 @@ type pipeState struct {
 }
 
 func (p *pipe) snapshot(dst *pipeState) {
-	dst.rate, dst.prop, dst.limit = p.rate, p.prop, p.limit
+	dst.rate, dst.prop, dst.limit, dst.cut = p.rate, p.prop, p.limit, p.cut
 	dst.busyUntil, dst.queued = p.busyUntil, p.queued
 	dst.pending = append(dst.pending[:0], p.pending[p.phead:]...)
 	p.lane.Snapshot(&dst.lane)
@@ -44,7 +45,7 @@ func (p *pipe) snapshot(dst *pipeState) {
 }
 
 func (p *pipe) restore(st *pipeState) {
-	p.rate, p.prop, p.limit = st.rate, st.prop, st.limit
+	p.rate, p.prop, p.limit, p.cut = st.rate, st.prop, st.limit, st.cut
 	p.busyUntil, p.queued = st.busyUntil, st.queued
 	p.pending = append(p.pending[:0], st.pending...)
 	p.phead = 0
@@ -107,8 +108,10 @@ type connState struct {
 	closed      bool
 	clientRecv  func([]byte)
 	clientClose func()
+	clientErr   func(error)
 	serverRecv  func([]byte)
 	serverClose func()
+	serverErr   func(error)
 	up          halfState // clientEnd.out (client -> server)
 	down        halfState // serverEnd.out (server -> client)
 }
@@ -151,8 +154,8 @@ func (n *Network) Snapshot(dst *NetSnapshot) {
 		cs := &dst.conns[i]
 		cs.c = c
 		cs.established, cs.connectEnd, cs.closed = c.established, c.connectEnd, c.closed
-		cs.clientRecv, cs.clientClose = c.clientEnd.recv, c.clientEnd.onClose
-		cs.serverRecv, cs.serverClose = c.serverEnd.recv, c.serverEnd.onClose
+		cs.clientRecv, cs.clientClose, cs.clientErr = c.clientEnd.recv, c.clientEnd.onClose, c.clientEnd.onError
+		cs.serverRecv, cs.serverClose, cs.serverErr = c.serverEnd.recv, c.serverEnd.onClose, c.serverEnd.onError
 		c.clientEnd.out.snapshot(&cs.up)
 		c.serverEnd.out.snapshot(&cs.down)
 	}
@@ -180,6 +183,7 @@ func clearConnStates(tail []connState) {
 		cs := &tail[i]
 		cs.c = nil
 		cs.clientRecv, cs.clientClose, cs.serverRecv, cs.serverClose = nil, nil, nil, nil
+		cs.clientErr, cs.serverErr = nil, nil
 		scrubHalfState(&cs.up)
 		scrubHalfState(&cs.down)
 	}
@@ -220,8 +224,8 @@ func (n *Network) Restore(snap *NetSnapshot) {
 		c := cs.c
 		n.conns = append(n.conns, c)
 		c.established, c.connectEnd, c.closed = cs.established, cs.connectEnd, cs.closed
-		c.clientEnd.recv, c.clientEnd.onClose = cs.clientRecv, cs.clientClose
-		c.serverEnd.recv, c.serverEnd.onClose = cs.serverRecv, cs.serverClose
+		c.clientEnd.recv, c.clientEnd.onClose, c.clientEnd.onError = cs.clientRecv, cs.clientClose, cs.clientErr
+		c.serverEnd.recv, c.serverEnd.onClose, c.serverEnd.onError = cs.serverRecv, cs.serverClose, cs.serverErr
 		c.clientEnd.out.restore(&cs.up)
 		c.serverEnd.out.restore(&cs.down)
 	}

@@ -32,6 +32,12 @@ type Farm struct {
 	// paper assumes zero (Sec. 4.1).
 	ThinkTime time.Duration
 
+	// stallUntil black-holes dispatch until the given instant: requests
+	// arriving inside the window have their serve deferred to the
+	// window's end (fault injection, see Stall). Serve order stays FIFO
+	// because deferred serve times are still nondecreasing.
+	stallUntil time.Duration
+
 	// NoPreEncode forces every header block onto the live-encoding path,
 	// bypassing the prepare-time pre-encoded blocks. The wire bytes are
 	// identical either way (pinned by TestFarmPreEncodeByteIdentical);
@@ -155,6 +161,7 @@ func (f *Farm) Reset(s *sim.Sim, net *netem.Network, site *Site, plan Plan) {
 	f.S, f.Net, f.Site, f.Plan = s, net, site, plan
 	f.Settings = h2.DefaultSettings()
 	f.ThinkTime = 0
+	f.stallUntil = 0
 	f.NoPreEncode = false
 	f.BytesPushed, f.PushCount, f.RequestCount = 0, 0, 0
 	if f.handler == nil {
@@ -355,7 +362,11 @@ func (f *Farm) getServer() *serverBundle {
 func (f *Farm) dispatch(sw *h2.ServerStream, req h2.Request) {
 	f.RequestCount++
 	f.svQ = append(f.svQ, svReq{sw: sw, req: req})
-	f.S.AtCall(f.S.Now()+f.ThinkTime, serveStep, f)
+	at := f.S.Now()
+	if at < f.stallUntil {
+		at = f.stallUntil
+	}
+	f.S.AtCall(at+f.ThinkTime, serveStep, f)
 	if f.ckArmed {
 		f.ckArmed = false
 		f.ckHit = true
@@ -463,6 +474,41 @@ func (f *Farm) serve(sw *h2.ServerStream, req h2.Request) {
 		}
 	}
 	f.pending = pushes[:0]
+}
+
+// Stall black-holes the farm for d from now: requests dispatched
+// inside the window are served only once it ends (fault injection).
+// Responses already handed to the h2 cores are unaffected — a stall
+// models the backend going dark, not the wire.
+func (f *Farm) Stall(d time.Duration) {
+	if until := f.S.Now() + d; until > f.stallUntil {
+		f.stallUntil = until
+	}
+}
+
+// InjectGoAway makes every active server connection send GOAWAY(NO_ERROR)
+// and stop accepting new streams (fault injection). Returns the number
+// of connections signalled.
+func (f *Farm) InjectGoAway() int {
+	n := 0
+	for _, b := range f.srvActive {
+		if !b.srv.Core.GoingAway() {
+			b.srv.Core.GoAway(h2.ErrCodeNo)
+			n++
+		}
+	}
+	return n
+}
+
+// InjectPushResets aborts every in-flight pushed stream on every active
+// server connection with RST_STREAM(CANCEL) (fault injection). Returns
+// the number of streams reset.
+func (f *Farm) InjectPushResets() int {
+	n := 0
+	for _, b := range f.srvActive {
+		n += b.srv.Core.AbortPushes(h2.ErrCodeCancel)
+	}
+	return n
 }
 
 func (f *Farm) lookupInterleave(url string) (InterleaveSpec, bool) {

@@ -22,6 +22,7 @@ type FarmSnapshot struct {
 	site        *Site
 	settings    h2.Settings
 	thinkTime   time.Duration
+	stallUntil  time.Duration
 	noPreEncode bool
 
 	bytesPushed  int64
@@ -40,6 +41,7 @@ type FarmSnapshot struct {
 func (f *Farm) Snapshot(dst *FarmSnapshot) {
 	dst.s, dst.net, dst.site = f.S, f.Net, f.Site
 	dst.settings, dst.thinkTime, dst.noPreEncode = f.Settings, f.ThinkTime, f.NoPreEncode
+	dst.stallUntil = f.stallUntil
 	dst.bytesPushed, dst.pushCount, dst.requestCount = f.BytesPushed, f.PushCount, f.RequestCount
 	dst.svQ = append(dst.svQ[:0], f.svQ[f.svHead:]...)
 	dst.pool = append(dst.pool[:0], f.srvPool...)
@@ -63,6 +65,7 @@ func (f *Farm) Snapshot(dst *FarmSnapshot) {
 func (f *Farm) Restore(snap *FarmSnapshot) {
 	f.S, f.Net, f.Site = snap.s, snap.net, snap.site
 	f.Settings, f.ThinkTime, f.NoPreEncode = snap.settings, snap.thinkTime, snap.noPreEncode
+	f.stallUntil = snap.stallUntil
 	f.BytesPushed, f.PushCount, f.RequestCount = snap.bytesPushed, snap.pushCount, snap.requestCount
 	clear(f.svQ)
 	f.svQ = append(f.svQ[:0], snap.svQ...)

@@ -22,6 +22,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/netem"
 	"repro/internal/replay"
 )
@@ -136,12 +137,22 @@ type Scenario struct {
 	Info    string // one-line human description for tables and docs
 	Profile netem.Profile
 	Vary    Variability
+	// Faults is the scenario's fault regime, realised per run by
+	// Derive. The zero Spec is fault-free.
+	Faults fault.Spec
 }
 
 // With returns a copy of the scenario with the given variability model,
 // composing a link with a perturbation regime.
 func (sc Scenario) With(v Variability) Scenario {
 	sc.Vary = v
+	return sc
+}
+
+// WithFaults returns a copy of the scenario with the given fault
+// regime, composing a link with a failure schedule.
+func (sc Scenario) WithFaults(fs fault.Spec) Scenario {
+	sc.Faults = fs
 	return sc
 }
 
@@ -158,6 +169,9 @@ func (sc Scenario) Validate() error {
 	if err := sc.Vary.validate(); err != nil {
 		return fmt.Errorf("scenario %q: %w", sc.Name, err)
 	}
+	if err := sc.Faults.Validate(); err != nil {
+		return fmt.Errorf("scenario %q: %w", sc.Name, err)
+	}
 	return nil
 }
 
@@ -171,10 +185,20 @@ type Conditions struct {
 	ClientJitterFrac float64
 	// ThinkTime delays every replay-server response.
 	ThinkTime time.Duration
+	// Faults is this run's realised fault schedule; empty for
+	// fault-free scenarios.
+	Faults fault.Plan
 
 	thirdParty Range
 	rng        *rand.Rand
 }
+
+// FaultsActive reports whether this run injects any fault. The
+// testbed's fork-at-divergence driver uses it as an eligibility gate
+// alongside ThirdPartyVaries: a faulted run deterministically bypasses
+// the checkpoint cache so injected state never leaks into a cached
+// prefix.
+func (c *Conditions) FaultsActive() bool { return !c.Faults.Empty() }
 
 // Derive realises the scenario for one run seed. It is deterministic:
 // the same seed always yields the same Conditions and the same
@@ -206,6 +230,10 @@ func (sc Scenario) Derive(seed int64) *Conditions {
 		c.thirdParty = v.ThirdParty
 		c.rng = rng
 	}
+	// Fault realisation uses its own RNG stream (see fault.Derive), so a
+	// fault-bearing scenario leaves every draw above untouched and a
+	// fault-free spec leaves the Conditions byte-identical.
+	c.Faults = sc.Faults.Derive(seed)
 	return c
 }
 

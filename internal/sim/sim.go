@@ -187,7 +187,9 @@ func (s *Sim) compact() {
 	clear(q[n:])
 	s.queue = q[:n]
 	s.dead = 0
-	for i := (n - 2) / 4; i >= 0; i-- {
+	// Careful with n < 2: Go truncates (n-2)/4 toward zero, so an empty
+	// queue would still enter the loop at i == 0 and index q[0].
+	for i := (n - 2) / 4; n > 1 && i >= 0; i-- {
 		s.siftDownFrom(i)
 	}
 }

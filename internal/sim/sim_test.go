@@ -309,3 +309,44 @@ func TestResetMatchesFresh(t *testing.T) {
 		t.Fatalf("pending = %d after drained run", reused.Pending())
 	}
 }
+
+func TestCancelAllCompactsEmptyQueue(t *testing.T) {
+	// Cancelling the last live event while 17+ dead slots are pending
+	// triggers compact on a queue with zero survivors; the heapify loop
+	// must not index into the emptied slice. Regression: a faulted page
+	// load's terminate() cancels every outstanding timer and ended with
+	// exactly this shape.
+	s := New(1)
+	evs := make([]*Event, 18)
+	for i := range evs {
+		evs[i] = s.After(time.Duration(i+1)*time.Millisecond, func() {})
+	}
+	for _, e := range evs {
+		e.Cancel()
+	}
+	if got := s.Run(); got != 0 {
+		t.Fatalf("Run fired %d events, want 0", got)
+	}
+}
+
+func TestCompactToSingleLiveEvent(t *testing.T) {
+	// Same compaction path with one survivor: the n==1 heap is trivially
+	// valid and the surviving event must still fire at its time.
+	s := New(1)
+	var fired time.Duration = -1
+	keep := s.After(20*time.Millisecond, func() { fired = s.Now() })
+	evs := make([]*Event, 18)
+	for i := range evs {
+		evs[i] = s.After(time.Duration(i+1)*time.Millisecond, func() {})
+	}
+	for _, e := range evs {
+		e.Cancel()
+	}
+	_ = keep
+	if got := s.Run(); got != 1 {
+		t.Fatalf("Run fired %d events, want 1", got)
+	}
+	if fired != 20*time.Millisecond {
+		t.Fatalf("survivor fired at %v, want 20ms", fired)
+	}
+}
