@@ -377,6 +377,26 @@ func BenchmarkEngineParallelJobs(b *testing.B) {
 	}
 }
 
+// BenchmarkPopulationSweep sweeps the client count of the population
+// engine on the household preset. The headline metric is bytes/op
+// growing sub-linearly in clients: the per-load results stream into
+// O(1)-memory sketch cells, so aggregation memory is independent of
+// clients x runs, and what remains is pooled per-client simulation
+// state (slots, connections) amortized across runs.
+func BenchmarkPopulationSweep(b *testing.B) {
+	for _, clients := range []int{1, 4, 16} {
+		b.Run("Clients="+strconv.Itoa(clients), func(b *testing.B) {
+			sc := core.ExperimentScale{Sites: 2, Runs: 2, Seed: 1, Jobs: 0}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.PopulationSweepNames([]string{"household"}, []int{clients}, sc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkPageLoad measures raw single-load simulation throughput.
 func BenchmarkPageLoad(b *testing.B) {
 	site := corpus.Generate(corpus.RandomProfile(), 0, 1)

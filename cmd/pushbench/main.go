@@ -22,7 +22,16 @@
 //
 //	pushbench -experiment faults -scenario dsl,satellite
 //
-// -experiment is an alias for -exp.
+// The population sweep loads N clients concurrently on one shared
+// bottleneck (household DSL, cell-sector backhaul, office NAT uplink)
+// and reports per-strategy median/p95 load times plus a fairness
+// ratio, streamed through O(1)-memory quantile sketches:
+//
+//	pushbench -experiment population -clients 1,4,16,64
+//	pushbench -experiment population -presets household -clients 1,8
+//
+// -experiment is an alias for -exp; -list-experiments prints every
+// experiment with a one-line description.
 //
 // For performance work, -cpuprofile and -memprofile write pprof
 // profiles of the selected experiment run, so a perf investigation can
@@ -37,6 +46,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 
 	"repro/internal/core"
@@ -59,6 +69,9 @@ func run() int {
 	runs := flag.Int("runs", 0, "override repetitions per configuration")
 	nsites := flag.Int("nsites", 0, "override sites per set")
 	popN := flag.Int("population", 200_000, "population size for fig1")
+	clientsFlag := flag.String("clients", "1,4,16,64", "comma-separated client counts for -experiment population")
+	presetsFlag := flag.String("presets", "all", "comma-separated population preset names for -experiment population (all, or any of: "+strings.Join(scenario.PopulationNames(), ", ")+")")
+	listExps := flag.Bool("list-experiments", false, "print the experiments with one-line descriptions and exit")
 	jobs := flag.Int("jobs", 0, "worker-pool size (0 = GOMAXPROCS, 1 = sequential); output is identical for any value")
 	noFork := flag.Bool("nofork", false, "disable fork-at-divergence checkpoint reuse (ablation; output is identical either way)")
 	forkStats := flag.Bool("forkstats", false, "print fork checkpoint effectiveness to stderr after the run")
@@ -125,6 +138,28 @@ func run() int {
 		}
 	}
 
+	// Population inputs are resolved eagerly too, same rationale.
+	var clientCounts []int
+	for _, part := range strings.Split(*clientsFlag, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			fmt.Fprintf(os.Stderr, "-clients: %q is not a positive client count\n", part)
+			return 2
+		}
+		clientCounts = append(clientCounts, n)
+	}
+	var popPresets []string // nil = all presets
+	if *presetsFlag != "" && *presetsFlag != "all" {
+		for _, n := range strings.Split(*presetsFlag, ",") {
+			name := strings.TrimSpace(n)
+			if _, err := scenario.PopulationByName(name); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 2
+			}
+			popPresets = append(popPresets, name)
+		}
+	}
+
 	one := func(t *core.Table) ([]*core.Table, error) { return []*core.Table{t}, nil }
 	experiments := map[string]func() ([]*core.Table, error){
 		"fig1":     func() ([]*core.Table, error) { return one(core.Fig1Adoption(*popN, scale.Seed)) },
@@ -141,14 +176,38 @@ func run() int {
 		"fig6":      func() ([]*core.Table, error) { return one(core.Fig6Popular(fig6Sites, scale)) },
 		"scenarios": func() ([]*core.Table, error) { return core.ScenarioSweep(scenarios, scale) },
 		"faults":    func() ([]*core.Table, error) { return core.FaultSweep(scenarios, scale) },
+		"population": func() ([]*core.Table, error) {
+			return core.PopulationSweepNames(popPresets, clientCounts, scale)
+		},
 	}
-	order := []string{"fig1", "fig2a", "fig2b", "pushable", "fig3a", "fig3b", "types", "fig4", "fig5", "fig6", "scenarios", "faults"}
+	order := []string{"fig1", "fig2a", "fig2b", "pushable", "fig3a", "fig3b", "types", "fig4", "fig5", "fig6", "scenarios", "faults", "population"}
+	descriptions := map[string]string{
+		"fig1":       "H2 and Server Push adoption over 12 monthly scans",
+		"fig2a":      "per-site std. error of PLT/SpeedIndex, testbed vs Internet",
+		"fig2b":      "push vs no push on the testbed, per-site medians",
+		"pushable":   "fraction of sites with <20% pushable objects",
+		"fig3a":      "push all vs no push on both site sets",
+		"fig3b":      "delta vs no push when pushing the first n objects",
+		"types":      "pushing specific object types (CSS/JS/images)",
+		"fig4":       "custom strategies on the synthetic sites s1-s10",
+		"fig5":       "SpeedIndex vs HTML size for push interleaving",
+		"fig6":       "six strategies on the modelled popular sites w1-w20",
+		"scenarios":  "strategy comparison under every named network scenario",
+		"faults":     "strategy comparison under scripted fault families",
+		"population": "N clients contending on one shared bottleneck (-clients, -presets)",
+	}
+	if *listExps {
+		for _, name := range order {
+			fmt.Printf("%-11s %s\n", name, descriptions[name])
+		}
+		return 0
+	}
 
 	names := []string{exp}
 	if exp == "all" {
 		names = order
 	} else if _, ok := experiments[exp]; !ok {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (have: %s, all)\n", exp, strings.Join(order, ", "))
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (have: %s, all; see -list-experiments)\n", exp, strings.Join(order, ", "))
 		return 2
 	}
 	for _, name := range names {

@@ -31,7 +31,9 @@
 //     extraction and majority-vote push ordering;
 //   - internal/core: the testbed orchestration, the parallel experiment
 //     engine, one experiment driver per figure/table of the evaluation,
-//     and the cross-scenario strategy sweep (ScenarioSweep).
+//     the cross-scenario strategy sweep (ScenarioSweep), and the
+//     population-scale sweep (PopulationSweep: N clients on one shared
+//     bottleneck, aggregated through mergeable quantile sketches).
 //
 // # The zero-copy byte path
 //
@@ -179,6 +181,42 @@
 // each scripted fault family and reports outcome counts, median PLT and
 // failure/waste accounting per cell.
 //
+// # Population sweeps: shared bottlenecks and streaming aggregation
+//
+// The paper's testbed is one client on one access link; the population
+// engine asks what happens when N clients share an uplink. A
+// netem.SharedProfile describes the two-hop topology — per-client
+// access links (full Profiles) feeding one FIFO queue per direction at
+// the shared rates — and netem.Topology instantiates it on a single
+// simulator: each client keeps its own Network (pipes, congestion
+// state, segment pool) and every flow's segments additionally traverse
+// the shared pipes, where the clients' traffic interleaves in FIFO
+// order. A flat Network is the nil-second-hop special case, so the
+// single-client path is bit-identical to before the topology existed
+// (the goldens pin that). Client Networks are owned by their Topology:
+// Reset re-attaches the shared pipes for the active clients and a flat
+// Reset detaches them, so pooled Networks recycle cleanly in both
+// directions. Population runs deterministically bypass the
+// fork-at-divergence cache (every unit has its own contention pattern;
+// pinned by test), and scenario presets (household, cell-sector,
+// office-nat) live in internal/scenario as plain data.
+//
+// Aggregation is O(1) in the number of loads: per-load PLT and
+// SpeedIndex stream into metrics.Sketch, a DDSketch-style mergeable
+// quantile sketch with geometrically spaced integer buckets. Every
+// reported quantile is within SketchRelativeError (1%) of the exact
+// value — a relative-error bound on the value, not a rank bound — with
+// exact min/max at p0/p100, and MergeFrom is commutative and
+// associative integer addition, so merging per-worker sketches in any
+// order yields bit-identical tables at any -jobs. The same machinery
+// backs metrics.Sample.Compact, which freezes a sample's exact summary
+// statistics (N, median, mean, std, stderr, CI), folds the raw values
+// into a sketch for later quantile queries, and releases them — the
+// experiment drivers compact after each evaluation, so sweep memory no
+// longer scales with runs. pushbench -experiment population renders
+// per-preset tables of strategy x client-count median/p95 PLT and
+// SpeedIndex plus a fairness row (PLT p95/p50).
+//
 // # Machine-checked contracts (repolint)
 //
 // The engine invariants described above are not just prose: cmd/repolint
@@ -244,7 +282,7 @@
 // regression tests (TestPageLoadAllocBudget,
 // TestRunContextReuseAllocBudget, TestFrameReaderAllocBudget);
 // scripts/bench.sh tracks the perf trajectory (BENCH_pr3.json through
-// BENCH_pr8.json). The peer-facing decoders (h2.FrameReader,
+// BENCH_pr9.json). The peer-facing decoders (h2.FrameReader,
 // hpack.Decoder) additionally carry fuzz targets seeded from real codec
 // output; CI runs short sessions of each.
 //

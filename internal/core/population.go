@@ -1,0 +1,283 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/browser"
+	"repro/internal/corpus"
+	"repro/internal/metrics"
+	"repro/internal/netem"
+	"repro/internal/replay"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+	"repro/internal/strategy"
+)
+
+// Population-scale sweeps: instead of one client on one access link,
+// a unit of work here is one *population run* — N clients, each with
+// its own browser, connections and congestion state, loading pages
+// concurrently on a single simulator while all their traffic contends
+// in one shared bottleneck queue (netem.Topology). The engine fans
+// (client-count, strategy, run) units across the usual worker pool;
+// each worker folds its units' per-load scalars into mergeable
+// sketches (metrics.Sketch), so aggregation memory is O(cells), not
+// O(clients x runs), and merging the workers' sketches afterwards is
+// commutative — the output is byte-identical at any -jobs.
+
+// populationStrategies is the push contrast the population tables
+// report: the no-push baseline, naive push-all, and the paper's
+// headline critical-path strategy (same trio as the fault sweep).
+func populationStrategies() []strategy.Strategy {
+	return []strategy.Strategy{
+		strategy.NoPush{},
+		strategy.PushAll{},
+		strategy.PushCriticalOptimized{},
+	}
+}
+
+// popCell streams one (client-count, strategy) cell of a population
+// table: quantile sketches for PLT and SpeedIndex plus completion
+// counters. Everything in it merges commutatively.
+type popCell struct {
+	plt      metrics.Sketch
+	si       metrics.Sketch
+	loads    int64
+	complete int64
+}
+
+func (c *popCell) mergeFrom(o *popCell) {
+	c.plt.MergeFrom(&o.plt)
+	c.si.MergeFrom(&o.si)
+	c.loads += o.loads
+	c.complete += o.complete
+}
+
+// popSlot is one pooled client seat: its replay farm and browser
+// loader, reused across every population run the owning worker
+// executes.
+type popSlot struct {
+	farm *replay.Farm
+	ld   *browser.Loader
+}
+
+// popAccumulator is one worker's private state for a population sweep:
+// the simulator and shared-bottleneck topology (reset per unit), the
+// pooled client slots, the arrival-offset scratch and the streamed
+// result cells. It never crosses goroutines.
+type popAccumulator struct {
+	sim     *sim.Sim
+	topo    *netem.Topology
+	slots   []popSlot
+	offsets []time.Duration
+	cells   []popCell
+}
+
+// popStart launches one client slot's page load. Static so staggered
+// arrivals schedule through sim.AtCall without per-client closures.
+func popStart(arg any) { arg.(*browser.Loader).Start() }
+
+// runUnit executes one population run: count clients loading their
+// assigned sites concurrently under st on one shared bottleneck. seed
+// fixes the simulator and the arrival stagger; the same (count, run)
+// pair uses the same seed for every strategy, so strategies are
+// compared under identical contention conditions.
+func (acc *popAccumulator) runUnit(shared netem.SharedProfile, cell *popCell,
+	sites []*replay.Site, plans []replay.Plan, cfg browser.Config, run int, seed int64) {
+	if acc.sim == nil {
+		acc.sim = sim.New(seed)
+		acc.topo = netem.NewTopology(acc.sim, shared)
+	} else {
+		acc.sim.Reset(seed)
+		acc.topo.Reset(shared)
+	}
+	// Population runs never share a checkpointed prefix: every unit has
+	// its own contention pattern, so fork-at-divergence is bypassed
+	// deterministically (pinned by TestPopulationRunsBypassForkCache).
+	forkBypassed.Add(1)
+	acc.offsets = shared.ArrivalOffsets(seed, acc.offsets)
+	for len(acc.slots) < shared.Clients {
+		acc.slots = append(acc.slots, popSlot{})
+	}
+	for i := 0; i < shared.Clients; i++ {
+		net := acc.topo.Client(i)
+		siteIdx := (run + i) % len(sites)
+		slot := &acc.slots[i]
+		if slot.farm == nil {
+			slot.farm = replay.NewFarm(acc.sim, net, sites[siteIdx], plans[siteIdx])
+			slot.ld = browser.New(acc.sim, slot.farm, cfg)
+		} else {
+			slot.farm.Reset(acc.sim, net, sites[siteIdx], plans[siteIdx])
+			slot.ld.Reset(acc.sim, slot.farm, cfg)
+		}
+		acc.sim.AtCall(acc.offsets[i], popStart, slot.ld)
+	}
+	acc.sim.Run()
+	// Slot order is input order, but the cell is merge-order-invariant
+	// anyway; scalars are extracted before the slots are recycled.
+	for i := 0; i < shared.Clients; i++ {
+		r := acc.slots[i].ld.Result()
+		cell.plt.Add(r.PLT)
+		cell.si.Add(r.SpeedIndex)
+		cell.loads++
+		if r.Completed {
+			cell.complete++
+		}
+	}
+}
+
+// PopulationSweepNames resolves population preset names (nil or empty
+// = every preset) and runs PopulationSweep over them.
+func PopulationSweepNames(names []string, counts []int, scale ExperimentScale) ([]*Table, error) {
+	var pops []scenario.Population
+	if len(names) == 0 {
+		pops = scenario.Populations()
+	} else {
+		for _, name := range names {
+			p, err := scenario.PopulationByName(name)
+			if err != nil {
+				return nil, err
+			}
+			pops = append(pops, p)
+		}
+	}
+	return PopulationSweep(pops, counts, scale)
+}
+
+// PopulationSweep runs the strategy contrast at each client count on
+// each population preset and renders one table per preset: rows are
+// (strategy, clients) cells with median/p95 PLT and SpeedIndex, a
+// fairness ratio (PLT p95/p50 — how much the unlucky clients pay) and
+// completion counts. Output is byte-identical for any scale.Jobs.
+func PopulationSweep(pops []scenario.Population, counts []int, scale ExperimentScale) ([]*Table, error) {
+	if len(pops) == 0 {
+		return nil, fmt.Errorf("core: population sweep needs at least one population")
+	}
+	if len(counts) == 0 {
+		return nil, fmt.Errorf("core: population sweep needs at least one client count")
+	}
+	for _, n := range counts {
+		if n <= 0 {
+			return nil, fmt.Errorf("core: client count must be positive, got %d", n)
+		}
+	}
+	for _, pop := range pops {
+		if err := pop.Validate(); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+	}
+	sts := populationStrategies()
+	sites := corpus.GenerateSet(corpus.RandomProfile(), scale.Sites, scale.Seed)
+
+	// Apply every strategy to every site once, up front, and force the
+	// parse-once Prepared state: the applied sites are shared read-only
+	// across all workers of every population.
+	applied := make([][]*replay.Site, len(sts))
+	plans := make([][]replay.Plan, len(sts))
+	cfgs := make([]browser.Config, len(sts))
+	for sj, st := range sts {
+		applied[sj] = make([]*replay.Site, len(sites))
+		plans[sj] = make([]replay.Plan, len(sites))
+		cfgs[sj] = browser.DefaultConfig()
+		switch st.(type) {
+		case strategy.NoPush, strategy.NoPushOptimized:
+			cfgs[sj].EnablePush = false
+		}
+		for i, site := range sites {
+			runSite, plan := st.Apply(site, nil)
+			runSite.Prepared()
+			applied[sj][i] = runSite
+			plans[sj][i] = plan
+		}
+	}
+
+	tables := make([]*Table, 0, len(pops))
+	for popIdx, pop := range pops {
+		nUnits := len(counts) * len(sts) * scale.Runs
+		// Pre-size the per-worker accumulator slots with the same clamp
+		// forEachWith applies, so newC can publish each worker's
+		// accumulator into a disjoint index.
+		workers := jobCount(scale.Jobs)
+		if workers > nUnits {
+			workers = nUnits
+		}
+		if workers < 1 {
+			workers = 1
+		}
+		accs := make([]*popAccumulator, workers)
+		newC := func(w int) *popAccumulator {
+			acc := &popAccumulator{cells: make([]popCell, len(counts)*len(sts))}
+			accs[w] = acc
+			return acc
+		}
+		forEachWith(nUnits, scale.Jobs, newC, func(acc *popAccumulator, u int) {
+			ci := u / (len(sts) * scale.Runs)
+			sj := (u % (len(sts) * scale.Runs)) / scale.Runs
+			run := u % scale.Runs
+			shared := pop.Shared
+			shared.Clients = counts[ci]
+			// The seed depends on (population, count, run) but not on the
+			// strategy: all strategies contend under identical arrivals.
+			seed := scale.Seed*1_000_003 + int64(popIdx)*104_729 +
+				int64(ci)*15_485_863 + int64(run)*7919
+			acc.runUnit(shared, &acc.cells[ci*len(sts)+sj], applied[sj], plans[sj], cfgs[sj], run, seed)
+		})
+		total := make([]popCell, len(counts)*len(sts))
+		for _, acc := range accs {
+			if acc == nil {
+				continue
+			}
+			for i := range total {
+				total[i].mergeFrom(&acc.cells[i])
+			}
+		}
+
+		t := &Table{
+			Title:  fmt.Sprintf("Population sweep: %s — strategy x clients on one shared bottleneck", pop.Name),
+			Header: []string{"strategy", "clients", "median PLT (ms)", "p95 PLT (ms)", "median SI (ms)", "p95 SI (ms)", "PLT p95/p50", "complete"},
+			Notes: []string{
+				pop.Info,
+				fmt.Sprintf("shared %s/%s Mbit/s, RTT %v, queue %d KB; access %s/%s Mbit/s, RTT %v; arrivals spread over %v",
+					mbit(pop.Shared.DownRate), mbit(pop.Shared.UpRate), pop.Shared.RTT, pop.Shared.QueueBytes/1024,
+					mbit(pop.Shared.Access.DownRate), mbit(pop.Shared.Access.UpRate), pop.Shared.Access.RTT, pop.Shared.ArrivalSpread),
+				fmt.Sprintf("quantiles from a mergeable sketch: within %.0f%% of the exact value (a relative-error bound, not a rank bound); p0/p100 exact",
+					metrics.SketchRelativeError*100),
+			},
+		}
+		for sj, st := range sts {
+			for ci := range counts {
+				cell := &total[ci*len(sts)+sj]
+				t.Rows = append(t.Rows, []string{
+					st.Name(),
+					fmt.Sprint(counts[ci]),
+					msq(cell.plt.Quantile(0.5)),
+					msq(cell.plt.Quantile(0.95)),
+					msq(cell.si.Quantile(0.5)),
+					msq(cell.si.Quantile(0.95)),
+					ratio(cell.plt.Quantile(0.95), cell.plt.Quantile(0.5)),
+					fmt.Sprintf("%d/%d", cell.complete, cell.loads),
+				})
+			}
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+// msq renders a sketch quantile in milliseconds with one decimal.
+func msq(d time.Duration) string {
+	return fmt.Sprintf("%.1f", float64(d)/float64(time.Millisecond))
+}
+
+// mbit renders a netem rate in Mbit/s, trimming trailing zeros.
+func mbit(r netem.Rate) string {
+	return fmt.Sprintf("%g", float64(r)/float64(netem.Mbps))
+}
+
+// ratio renders a/b with two decimals ("-" when b is zero).
+func ratio(a, b time.Duration) string {
+	if b == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2f", float64(a)/float64(b))
+}

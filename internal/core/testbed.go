@@ -344,7 +344,15 @@ func (tb *Testbed) EvaluateStrategy(site *replay.Site, st strategy.Strategy, tr 
 	case strategy.NoPush, strategy.NoPushOptimized:
 		run.Browser.EnablePush = false
 	}
-	return run.Evaluate(runSite, plan, st.Name())
+	ev := run.Evaluate(runSite, plan, st.Name())
+	// The experiment drivers consume only the summary statistics, which
+	// Compact freezes at their exact values before releasing the raw
+	// per-run samples — the golden tables are unaffected, and a sweep's
+	// resident memory stops scaling with runs. Callers needing the raw
+	// samples use Evaluate directly.
+	ev.PLT.Compact()
+	ev.SI.Compact()
+	return ev
 }
 
 // Trace performs the paper's dependency-tracing step (Sec. 4.2): load

@@ -78,16 +78,64 @@ type Sample struct {
 	// cache — use Add, or re-slice and Add afresh.
 	sortedVals []time.Duration
 	sortedN    int
+
+	// Compacted state (see Compact): the exact summary statistics are
+	// frozen, the raw values are released, and quantile queries fall
+	// back to the sketch's relative-error answers.
+	sketch     *Sketch
+	compactN   int
+	compMedian time.Duration
+	compMean   time.Duration
+	compStd    time.Duration
 }
+
+// Compact freezes the sample's summary statistics and releases the raw
+// values, dropping per-sample memory to O(sketch buckets). N, Median,
+// Mean, Std, StdErr and CI are computed exactly before the values are
+// freed and keep returning the exact answers; Percentile and SampleCDF
+// answer from a mergeable Sketch afterwards and are accurate to
+// SketchRelativeError of the exact value (a relative-error bound, not
+// a rank-error bound). Adding to a compacted sample panics. Compact on
+// an already-compacted sample is a no-op.
+func (s *Sample) Compact() {
+	if s.sketch != nil {
+		return
+	}
+	// Order matters: the exact statistics must be computed while the
+	// raw values are still alive.
+	s.compactN = len(s.Values)
+	s.compMedian = s.Median()
+	s.compMean = s.Mean()
+	s.compStd = s.Std()
+	sk := &Sketch{}
+	for _, v := range s.Values {
+		sk.Add(v)
+	}
+	s.Values = nil
+	s.sortedVals = nil
+	s.sortedN = 0
+	s.sketch = sk
+}
+
+// Compacted reports whether Compact has released the raw values.
+func (s *Sample) Compacted() bool { return s.sketch != nil }
 
 // Add appends a measurement, invalidating the sorted cache.
 func (s *Sample) Add(v time.Duration) {
+	if s.sketch != nil {
+		panic("metrics: Add on a compacted Sample")
+	}
 	s.Values = append(s.Values, v)
 	s.sortedN = -1
 }
 
 // N returns the number of measurements.
-func (s *Sample) N() int { return len(s.Values) }
+func (s *Sample) N() int {
+	if s.sketch != nil {
+		return s.compactN
+	}
+	return len(s.Values)
+}
 
 func (s *Sample) sorted() []time.Duration {
 	if s.sortedN == len(s.Values) && s.sortedVals != nil {
@@ -100,8 +148,11 @@ func (s *Sample) sorted() []time.Duration {
 }
 
 // Median returns the sample median (the paper reports medians of 31
-// runs).
+// runs). Exact, including after Compact (it is frozen there).
 func (s *Sample) Median() time.Duration {
+	if s.sketch != nil {
+		return s.compMedian
+	}
 	if len(s.Values) == 0 {
 		return 0
 	}
@@ -115,8 +166,12 @@ func (s *Sample) Median() time.Duration {
 
 // Percentile returns the p-quantile (0 <= p <= 1) by nearest-rank on the
 // cached sorted values, so repeated quantile queries after one batch of
-// Adds cost O(1) after a single sort.
+// Adds cost O(1) after a single sort. After Compact it answers from the
+// sketch, within SketchRelativeError of the exact value.
 func (s *Sample) Percentile(p float64) time.Duration {
+	if s.sketch != nil {
+		return s.sketch.Quantile(p)
+	}
 	n := len(s.Values)
 	if n == 0 {
 		return 0
@@ -136,8 +191,18 @@ func (s *Sample) Percentile(p float64) time.Duration {
 }
 
 // SampleCDF returns the sample's empirical CDF from the cached sorted
-// values.
+// values. After Compact the curve is reconstructed from sketch
+// quantiles (values carry the sketch's relative error).
 func (s *Sample) SampleCDF() []CDFPoint {
+	if s.sketch != nil {
+		n := s.compactN
+		out := make([]CDFPoint, n)
+		for i := 0; i < n; i++ {
+			f := float64(i+1) / float64(n)
+			out[i] = CDFPoint{Value: float64(s.sketch.Quantile(float64(i) / float64(n))), Fraction: f}
+		}
+		return out
+	}
 	v := s.sorted()
 	out := make([]CDFPoint, len(v))
 	for i, d := range v {
@@ -146,8 +211,11 @@ func (s *Sample) SampleCDF() []CDFPoint {
 	return out
 }
 
-// Mean returns the arithmetic mean.
+// Mean returns the arithmetic mean. Exact, including after Compact.
 func (s *Sample) Mean() time.Duration {
+	if s.sketch != nil {
+		return s.compMean
+	}
 	if len(s.Values) == 0 {
 		return 0
 	}
@@ -158,8 +226,12 @@ func (s *Sample) Mean() time.Duration {
 	return time.Duration(sum / float64(len(s.Values)))
 }
 
-// Std returns the sample standard deviation (n-1).
+// Std returns the sample standard deviation (n-1). Exact, including
+// after Compact.
 func (s *Sample) Std() time.Duration {
+	if s.sketch != nil {
+		return s.compStd
+	}
 	n := len(s.Values)
 	if n < 2 {
 		return 0
@@ -174,9 +246,9 @@ func (s *Sample) Std() time.Duration {
 }
 
 // StdErr returns the standard error of the mean, σx̄ = s/√n — the
-// quantity Fig. 2(a) plots per site.
+// quantity Fig. 2(a) plots per site. Exact, including after Compact.
 func (s *Sample) StdErr() time.Duration {
-	n := len(s.Values)
+	n := s.N()
 	if n < 2 {
 		return 0
 	}

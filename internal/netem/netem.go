@@ -205,6 +205,14 @@ type Network struct {
 	down *pipe
 	up   *pipe
 
+	// xDown/xUp are the shared bottleneck pipes of an owning Topology;
+	// when attached, every connection cascades its segments through the
+	// shared hop after (down: before) the access pipes. nil on a flat
+	// network. Reset detaches them; Topology.Reset re-attaches after
+	// resetting each client, so they carry no per-run state of their own.
+	xDown *pipe //repolint:keep attached by the owning Topology after Reset; nil on a flat network
+	xUp   *pipe //repolint:keep attached by the owning Topology after Reset; nil on a flat network
+
 	nextConnID int
 	segFree    []*segment //repolint:keep recycled segment free list; putSeg scrubs entries
 
@@ -220,15 +228,23 @@ type Network struct {
 // New builds a Network on the given simulator. It panics on an invalid
 // profile; profiles are static configuration, not runtime input.
 func New(s *sim.Sim, prof Profile) *Network {
+	return newNetwork(s, prof, prof.RTT/2)
+}
+
+// newNetwork is New with the per-pipe propagation delay decoupled from
+// the profile RTT: a Topology client's Prof.RTT is the *effective*
+// round trip (access + shared segment, so handshake timing and RTOs
+// are correct) while its access pipes carry only the access
+// propagation — the shared pipes contribute the rest.
+func newNetwork(s *sim.Sim, prof Profile, prop time.Duration) *Network {
 	if err := prof.Validate(); err != nil {
 		panic(err)
 	}
-	half := prof.RTT / 2
 	return &Network{
 		Sim:  s,
 		Prof: prof,
-		down: &pipe{s: s, lane: sim.NewLane(s), rate: prof.DownRate, prop: half, limit: prof.QueueBytes},
-		up:   &pipe{s: s, lane: sim.NewLane(s), rate: prof.UpRate, prop: half, limit: prof.QueueBytes},
+		down: &pipe{s: s, lane: sim.NewLane(s), rate: prof.DownRate, prop: prop, limit: prof.QueueBytes},
+		up:   &pipe{s: s, lane: sim.NewLane(s), rate: prof.UpRate, prop: prop, limit: prof.QueueBytes},
 	}
 }
 
@@ -238,14 +254,22 @@ func New(s *sim.Sim, prof Profile) *Network {
 // must have been Reset (or be fresh) — pipe bookkeeping is relative to
 // its clock. Panics on an invalid profile, like New.
 func (n *Network) Reset(prof Profile) {
+	n.resetWith(prof, prof.RTT/2)
+}
+
+// resetWith is Reset with the propagation split of newNetwork. It
+// detaches any shared pipes: a Network leaves Reset flat, and only its
+// owning Topology (which resets the shared hop itself) re-attaches
+// them.
+func (n *Network) resetWith(prof Profile, prop time.Duration) {
 	if err := prof.Validate(); err != nil {
 		panic(err)
 	}
-	half := prof.RTT / 2
 	n.Prof = prof
 	n.nextConnID = 0
-	n.down.reset(prof.DownRate, half, prof.QueueBytes)
-	n.up.reset(prof.UpRate, half, prof.QueueBytes)
+	n.down.reset(prof.DownRate, prop, prof.QueueBytes)
+	n.up.reset(prof.UpRate, prop, prof.QueueBytes)
+	n.xDown, n.xUp = nil, nil
 	clear(n.conns)
 	n.conns = n.conns[:0]
 	// Reclaim segments still in flight when the previous run ended.
@@ -403,10 +427,15 @@ type segment struct {
 // The send buffer is a chunked FIFO of writer-provided slices; pump
 // carves MSS-sized segments out of it as zero-copy subslices.
 type halfConn struct {
-	s        *sim.Sim
-	net      *Network
-	pipe     *pipe // data direction
-	ackPipe  *pipe // reverse direction for ACKs
+	s       *sim.Sim
+	net     *Network
+	pipe    *pipe // data direction, first hop
+	ackPipe *pipe // reverse direction for ACKs, first hop
+	// pipe2/ackPipe2, when non-nil, cascade each segment (and each ACK)
+	// through a second hop — the shared bottleneck of a Topology. nil
+	// (every flat Network) keeps the single-hop behaviour bit-identical.
+	pipe2    *pipe
+	ackPipe2 *pipe
 	mss      int
 	overhead int
 	lossRate float64
@@ -539,14 +568,24 @@ func (h *halfConn) sendSegment(seg *segment) {
 			// Admission times are nondecreasing per pipe (a link is a FIFO
 			// queue), so deliveries ride the pipe's lane instead of each
 			// taking a heap slot.
-			h.pipe.lane.AtCall(at, deliverSegment, seg)
+			if h.pipe2 != nil {
+				h.pipe.lane.AtCall(at, hopSegment, seg)
+			} else {
+				h.pipe.lane.AtCall(at, deliverSegment, seg)
+			}
 			return
 		}
 	}
-	// Lost in the network or tail-dropped: retransmit after an RTO and
-	// fall back to slow start from half the window. After Close no new
-	// timer may be armed (Close cancelled the existing ones); the
-	// segment is abandoned like the rest of the send buffer.
+	h.scheduleRtx(seg)
+}
+
+// scheduleRtx arms the retransmit path after a loss or tail drop:
+// retransmit after an RTO and fall back to slow start from half the
+// window. After Close no new timer may be armed (Close cancelled the
+// existing ones); the segment is abandoned like the rest of the send
+// buffer. A retransmission re-traverses the full path from the first
+// hop — the drop consumed the segment wherever it happened.
+func (h *halfConn) scheduleRtx(seg *segment) {
 	if h.closed {
 		return
 	}
@@ -592,13 +631,43 @@ func (h *halfConn) closeHalf() {
 	h.rtx = nil
 }
 
-// deliverSegment is the (pooled) delivery event for a data segment.
+// deliverSegment is the (pooled) delivery event for a data segment on
+// a flat (single-hop) network.
 //
 //repolint:hotpath
 func deliverSegment(arg any) {
 	seg := arg.(*segment)
 	h := seg.h
 	h.pipe.delivered += int64(seg.size + h.overhead)
+	h.onSegmentArrive(seg)
+}
+
+// hopSegment is the first-hop arrival on a cascaded path: the segment
+// leaves the access pipe and contends for the shared bottleneck. A
+// tail drop here is a real drop — the sender retransmits from hop one.
+//
+//repolint:hotpath
+func hopSegment(arg any) {
+	seg := arg.(*segment)
+	h := seg.h
+	h.pipe.delivered += int64(seg.size + h.overhead)
+	if at, ok := h.pipe2.admit(seg.size+h.overhead, false); ok {
+		// Events fire in global time order and admit times are
+		// nondecreasing per pipe, so the shared lane's FIFO invariant
+		// holds even with many clients' hops interleaving.
+		h.pipe2.lane.AtCall(at, deliverSegment2, seg)
+		return
+	}
+	h.scheduleRtx(seg)
+}
+
+// deliverSegment2 is the second-hop (shared-bottleneck) delivery.
+//
+//repolint:hotpath
+func deliverSegment2(arg any) {
+	seg := arg.(*segment)
+	h := seg.h
+	h.pipe2.delivered += int64(seg.size + h.overhead)
 	h.onSegmentArrive(seg)
 }
 
@@ -636,7 +705,11 @@ func (h *halfConn) onSegmentArrive(seg *segment) {
 	// ACK back through the reverse pipe. ACKs are never lost in the model
 	// (cumulative-ACK robustness is not modelled; see pipe.admit).
 	at, _ := h.ackPipe.admit(h.overhead, true)
-	h.ackPipe.lane.AtCall(at, deliverAck, seg)
+	if h.ackPipe2 != nil {
+		h.ackPipe.lane.AtCall(at, hopAck, seg)
+	} else {
+		h.ackPipe.lane.AtCall(at, deliverAck, seg)
+	}
 }
 
 //repolint:hotpath
@@ -650,14 +723,45 @@ func (h *halfConn) deliver(seg *segment) {
 	h.maybeFree(seg)
 }
 
-// deliverAck is the (pooled) ACK event; it reuses the segment struct that
-// carried the delivery.
+// deliverAck is the (pooled) ACK event on a flat network; it reuses
+// the segment struct that carried the delivery.
 //
 //repolint:hotpath
 func deliverAck(arg any) {
 	seg := arg.(*segment)
 	h := seg.h
 	h.ackPipe.delivered += int64(h.overhead)
+	h.finishAck(seg)
+}
+
+// hopAck forwards an ACK across the second reverse hop. ACKs are
+// force-admitted on both hops (see pipe.admit): the model has no
+// ACK-loss recovery, so the shared queue never strands the ACK clock.
+//
+//repolint:hotpath
+func hopAck(arg any) {
+	seg := arg.(*segment)
+	h := seg.h
+	h.ackPipe.delivered += int64(h.overhead)
+	at, _ := h.ackPipe2.admit(h.overhead, true)
+	h.ackPipe2.lane.AtCall(at, deliverAck2, seg)
+}
+
+// deliverAck2 completes a cascaded ACK at the sender.
+//
+//repolint:hotpath
+func deliverAck2(arg any) {
+	seg := arg.(*segment)
+	h := seg.h
+	h.ackPipe2.delivered += int64(h.overhead)
+	h.finishAck(seg)
+}
+
+// finishAck is the shared ACK tail: account the segment, recycle it if
+// delivery already happened, and grow the window.
+//
+//repolint:hotpath
+func (h *halfConn) finishAck(seg *segment) {
 	n := seg.size
 	seg.ackDone = true
 	h.maybeFree(seg)
@@ -694,12 +798,14 @@ func (n *Network) Dial(onConnect func(*Conn)) *Conn {
 	c := &Conn{net: n, ID: n.nextConnID}
 	n.conns = append(n.conns, c)
 	prof := n.Prof
-	mkHalf := func(dataPipe, ackPipe *pipe) *halfConn {
+	mkHalf := func(dataPipe, dataPipe2, ackPipe, ackPipe2 *pipe) *halfConn {
 		return &halfConn{
 			s:        n.Sim,
 			net:      n,
 			pipe:     dataPipe,
+			pipe2:    dataPipe2,
 			ackPipe:  ackPipe,
+			ackPipe2: ackPipe2,
 			mss:      prof.MSS,
 			overhead: prof.SegOverhead,
 			lossRate: prof.LossRate,
@@ -709,8 +815,17 @@ func (n *Network) Dial(onConnect func(*Conn)) *Conn {
 			rtt:      prof.RTT,
 		}
 	}
-	upHalf := mkHalf(n.up, n.down)   // client -> server
-	downHalf := mkHalf(n.down, n.up) // server -> client
+	var upHalf, downHalf *halfConn
+	if n.xUp != nil {
+		// Cascaded topology: client data crosses its access uplink then
+		// the shared uplink; server data crosses the shared downlink then
+		// the client's access downlink. ACKs retrace the reverse path.
+		upHalf = mkHalf(n.up, n.xUp, n.xDown, n.down)   // client -> server
+		downHalf = mkHalf(n.xDown, n.down, n.up, n.xUp) // server -> client
+	} else {
+		upHalf = mkHalf(n.up, nil, n.down, nil)   // client -> server
+		downHalf = mkHalf(n.down, nil, n.up, nil) // server -> client
+	}
 	c.clientEnd = &End{conn: c, out: upHalf}
 	c.serverEnd = &End{conn: c, out: downHalf}
 	upHalf.peerRecv = func() func([]byte) { return c.serverEnd.recv }

@@ -6,9 +6,9 @@
 #   smoke  one iteration per benchmark (CI: proves the harness works)
 #   full   timed runs (default; override duration with BENCHTIME=5s)
 #
-# The default output path is BENCH_pr8.json in the repo root, the perf
-# record for PR 8's fault-injection and recovery machinery (which must
-# leave the fault-free hot path's allocation profile untouched). The checked-in
+# The default output path is BENCH_pr9.json in the repo root, the perf
+# record for PR 9's population-scale sweeps (N clients on one shared
+# bottleneck, streamed through O(1)-memory sketch cells). The checked-in
 # BENCH_prN.json files wrap two of these records ("before"/"after" each
 # refactor); subsequent PRs append their own BENCH_prN.json by pointing
 # the second argument at a new file. The benchmark set includes the
@@ -19,9 +19,9 @@ set -euo pipefail
 cd "$(dirname "$0")/.." || exit 1
 
 mode="${1:-full}"
-out="${2:-BENCH_pr8.json}"
+out="${2:-BENCH_pr9.json}"
 
-args=(-run '^$' -bench 'PageLoad|ScenarioSweep|Engine' -benchmem)
+args=(-run '^$' -bench 'PageLoad|ScenarioSweep|Engine|Population' -benchmem)
 case "$mode" in
 smoke) args+=(-benchtime 1x) ;;
 full) args+=(-benchtime "${BENCHTIME:-2s}") ;;
