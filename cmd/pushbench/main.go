@@ -10,6 +10,13 @@
 //	pushbench -exp all -jobs 8         # fan runs/sites across 8 workers
 //	pushbench -exp all -jobs 1         # strictly sequential (same output)
 //
+// The execution layer is pluggable: -executor multiprocess shards the
+// site-level fan-out across pushbench child processes (re-exec'd with
+// -worker), which scales past GOMAXPROCS=1 and produces byte-identical
+// tables at any -shards value:
+//
+//	pushbench -exp fig2b -executor multiprocess -shards 4
+//
 // The cross-scenario sweep re-runs the strategy comparison under every
 // named network scenario (or a chosen subset):
 //
@@ -53,7 +60,13 @@ import (
 	"repro/internal/scenario"
 )
 
-func main() { os.Exit(run()) }
+func main() {
+	// Becomes a shard worker and never returns when spawned by the
+	// multiprocess executor; must run before flag parsing so the
+	// -worker marker argument is never interpreted as a flag.
+	core.MaybeServeWorker()
+	os.Exit(run())
+}
 
 // run carries the whole command so error paths return instead of
 // calling os.Exit directly: the deferred profile writers (StopCPUProfile,
@@ -73,6 +86,8 @@ func run() int {
 	presetsFlag := flag.String("presets", "all", "comma-separated population preset names for -experiment population (all, or any of: "+strings.Join(scenario.PopulationNames(), ", ")+")")
 	listExps := flag.Bool("list-experiments", false, "print the experiments with one-line descriptions and exit")
 	jobs := flag.Int("jobs", 0, "worker-pool size (0 = GOMAXPROCS, 1 = sequential); output is identical for any value")
+	executor := flag.String("executor", core.ExecInProcess, "execution backend: inprocess|multiprocess; output is identical for either")
+	shards := flag.Int("shards", 0, "multiprocess worker-child count (0 = GOMAXPROCS); output is identical for any value")
 	noFork := flag.Bool("nofork", false, "disable fork-at-divergence checkpoint reuse (ablation; output is identical either way)")
 	forkStats := flag.Bool("forkstats", false, "print fork checkpoint effectiveness to stderr after the run")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
@@ -119,6 +134,11 @@ func run() int {
 	}
 	scale.Jobs = *jobs
 	scale.NoFork = *noFork
+	scale.Exec = core.Exec{Kind: *executor, Shards: *shards}
+	if err := scale.Exec.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
 	var fig6Sites []string
 	if *sitesFlag != "" {
 		fig6Sites = strings.Split(*sitesFlag, ",")
@@ -160,19 +180,22 @@ func run() int {
 		}
 	}
 
-	one := func(t *core.Table) ([]*core.Table, error) { return []*core.Table{t}, nil }
+	one := func(t *core.Table, err error) ([]*core.Table, error) {
+		if err != nil {
+			return nil, err
+		}
+		return []*core.Table{t}, nil
+	}
 	experiments := map[string]func() ([]*core.Table, error){
-		"fig1":     func() ([]*core.Table, error) { return one(core.Fig1Adoption(*popN, scale.Seed)) },
-		"fig2a":    func() ([]*core.Table, error) { return one(core.Fig2aVariability(scale)) },
-		"fig2b":    func() ([]*core.Table, error) { return one(core.Fig2bPushVsNoPush(scale)) },
-		"pushable": func() ([]*core.Table, error) { return one(core.PushableObjects(scale)) },
-		"fig3a":    func() ([]*core.Table, error) { return one(core.Fig3aPushAll(scale)) },
-		"fig3b":    func() ([]*core.Table, error) { return one(core.Fig3bPushAmount(scale)) },
-		"types":    func() ([]*core.Table, error) { return one(core.PushByTypeAnalysis(scale)) },
-		"fig4":     func() ([]*core.Table, error) { return one(core.Fig4Synthetic(scale)) },
-		"fig5": func() ([]*core.Table, error) {
-			return one(core.Fig5Interleaving(scale.Runs, scale.Seed, scale.Jobs, scale.NoFork))
-		},
+		"fig1":      func() ([]*core.Table, error) { return one(core.Fig1Adoption(*popN, scale.Seed), nil) },
+		"fig2a":     func() ([]*core.Table, error) { return one(core.Fig2aVariability(scale)) },
+		"fig2b":     func() ([]*core.Table, error) { return one(core.Fig2bPushVsNoPush(scale)) },
+		"pushable":  func() ([]*core.Table, error) { return one(core.PushableObjects(scale), nil) },
+		"fig3a":     func() ([]*core.Table, error) { return one(core.Fig3aPushAll(scale)) },
+		"fig3b":     func() ([]*core.Table, error) { return one(core.Fig3bPushAmount(scale)) },
+		"types":     func() ([]*core.Table, error) { return one(core.PushByTypeAnalysis(scale)) },
+		"fig4":      func() ([]*core.Table, error) { return one(core.Fig4Synthetic(scale)) },
+		"fig5":      func() ([]*core.Table, error) { return one(core.Fig5Interleaving(scale)) },
 		"fig6":      func() ([]*core.Table, error) { return one(core.Fig6Popular(fig6Sites, scale)) },
 		"scenarios": func() ([]*core.Table, error) { return core.ScenarioSweep(scenarios, scale) },
 		"faults":    func() ([]*core.Table, error) { return core.FaultSweep(scenarios, scale) },

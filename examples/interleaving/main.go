@@ -7,12 +7,17 @@ package main
 
 import (
 	"fmt"
+	"os"
 
 	"repro/internal/core"
 )
 
 func main() {
-	tab := core.Fig5Interleaving(7, 1, 0, false)
+	tab, err := core.Fig5Interleaving(core.ExperimentScale{Runs: 7, Seed: 1})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	fmt.Print(tab.String())
 
 	fmt.Println("reading the table: 'no push' grows with the HTML size because the")

@@ -22,6 +22,11 @@ var Determinism = &Analyzer{
 		"repro/internal/core",
 		"repro/internal/netem",
 		"repro/internal/scenario",
+		// The shard protocol and metrics codecs sit on the multiprocess
+		// result path: any nondeterminism there would break the
+		// byte-identical-tables contract across executors.
+		"repro/internal/shard",
+		"repro/internal/metrics",
 	},
 	Run: runDeterminism,
 }

@@ -114,7 +114,10 @@ func TestFig1AdoptionTable(t *testing.T) {
 }
 
 func TestFig5InterleavingShape(t *testing.T) {
-	tab := Fig5Interleaving(3, 1, 0, false)
+	tab, err := Fig5Interleaving(ExperimentScale{Runs: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(tab.Rows) != 9 {
 		t.Fatalf("rows = %d", len(tab.Rows))
 	}
@@ -163,7 +166,10 @@ func TestPushableObjectsTable(t *testing.T) {
 
 func TestFig6SingleSite(t *testing.T) {
 	// One representative site end-to-end through all six strategies.
-	tab := Fig6Popular([]string{"w1"}, ExperimentScale{Sites: 1, Runs: 3, Seed: 1})
+	tab, err := Fig6Popular([]string{"w1"}, ExperimentScale{Sites: 1, Runs: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(tab.Rows) != 5 { // six strategies minus the baseline
 		t.Fatalf("rows = %d: %v", len(tab.Rows), tab.Rows)
 	}

@@ -55,18 +55,23 @@ func TestExperimentTablesParallelMatchSequential(t *testing.T) {
 	par.Jobs = 4
 	for _, tc := range []struct {
 		name string
-		run  func(ExperimentScale) *Table
+		run  func(ExperimentScale) (*Table, error)
 	}{
 		{"fig2b", Fig2bPushVsNoPush},
-		{"fig6", func(sc ExperimentScale) *Table {
+		{"fig6", func(sc ExperimentScale) (*Table, error) {
 			return Fig6Popular([]string{"w1", "w2"}, sc)
 		}},
-		{"fig5", func(sc ExperimentScale) *Table {
-			return Fig5Interleaving(sc.Runs, sc.Seed, sc.Jobs, sc.NoFork)
-		}},
+		{"fig5", Fig5Interleaving},
 	} {
-		a := tc.run(seq).String()
-		b := tc.run(par).String()
+		ta, err := tc.run(seq)
+		if err != nil {
+			t.Fatalf("%s sequential: %v", tc.name, err)
+		}
+		tb, err := tc.run(par)
+		if err != nil {
+			t.Fatalf("%s parallel: %v", tc.name, err)
+		}
+		a, b := ta.String(), tb.String()
 		if a != b {
 			t.Errorf("%s: parallel table differs from sequential:\n--- jobs=1 ---\n%s--- jobs=4 ---\n%s", tc.name, a, b)
 		}

@@ -1,0 +1,235 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/shard"
+)
+
+// TestMain lets the multiprocess executor re-exec this test binary as a
+// shard worker: MaybeServeWorker takes over (and exits) when the worker
+// marker env is set, and is a no-op otherwise. Without it, a spawned
+// child would run the whole test suite instead of serving frames.
+func TestMain(m *testing.M) {
+	MaybeServeWorker()
+	os.Exit(m.Run())
+}
+
+func TestExecValidate(t *testing.T) {
+	for _, kind := range []string{"", ExecInProcess, ExecMultiProcess} {
+		if err := (Exec{Kind: kind}).Validate(); err != nil {
+			t.Errorf("kind %q: %v", kind, err)
+		}
+	}
+	if err := (Exec{Kind: "threads"}).Validate(); err == nil {
+		t.Error("unknown executor kind accepted")
+	}
+}
+
+// TestMultiprocessMatchesInprocess is the tentpole equivalence test:
+// every experiment table — including the fault and population sweeps —
+// must render byte-identically whether its fan-out ran on the
+// in-process pool or across 1, 2 or 4 worker child processes.
+func TestMultiprocessMatchesInprocess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker child processes")
+	}
+	render := func(t *testing.T, sc ExperimentScale) string {
+		t.Helper()
+		var sb strings.Builder
+		add := func(tab *Table, err error) {
+			t.Helper()
+			if err != nil {
+				t.Fatal(err)
+			}
+			sb.WriteString(tab.String())
+		}
+		addAll := func(tabs []*Table, err error) {
+			t.Helper()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, tab := range tabs {
+				sb.WriteString(tab.String())
+			}
+		}
+		add(Fig2aVariability(sc))
+		add(Fig2bPushVsNoPush(sc))
+		add(Fig4Synthetic(sc))
+		add(Fig5Interleaving(sc))
+		add(Fig6Popular([]string{"w1", "w2"}, sc))
+		addAll(ScenarioSweepNames([]string{"dsl"}, sc))
+		addAll(FaultSweepNames([]string{"dsl"}, sc))
+		addAll(PopulationSweepNames([]string{"household"}, []int{1, 2}, sc))
+		return sb.String()
+	}
+	base := ExperimentScale{Sites: 2, Runs: 2, Seed: 1, Jobs: 1}
+	want := render(t, base)
+	for _, shards := range []int{1, 2, 4} {
+		t.Run("Shards="+strconv.Itoa(shards), func(t *testing.T) {
+			sc := base
+			sc.Exec = Exec{Kind: ExecMultiProcess, Shards: shards}
+			got := render(t, sc)
+			if got != want {
+				t.Errorf("multiprocess shards=%d tables diverged from in-process: %s",
+					shards, diffLine(got, want))
+			}
+		})
+	}
+}
+
+// TestExecutorPayloadsByteIdentical compares raw encoded unit payloads
+// between the two Executor implementations for every registered job the
+// parent can parameterize cheaply: the multiprocess codec round-trip
+// must reproduce the reference in-process encoder byte for byte.
+func TestExecutorPayloadsByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker child processes")
+	}
+	sc := jobScale{Sites: 2, Runs: 2, Seed: 1}
+	params, err := json.Marshal(deltaParams{
+		Profile:  "top-100",
+		Strategy: strategySpec{Kind: "pushall"},
+		Scale:    sc,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := sc.Sites
+	inproc, err := (&inProcessExecutor{jobs: 1}).Collect("delta", params, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := (&multiProcessExecutor{shards: 2}).Collect("delta", params, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inproc) != n || len(multi) != n {
+		t.Fatalf("payload counts %d/%d, want %d", len(inproc), len(multi), n)
+	}
+	for i := range inproc {
+		if !bytes.Equal(inproc[i], multi[i]) {
+			t.Errorf("unit %d payload differs: %x vs %x", i, inproc[i], multi[i])
+		}
+	}
+}
+
+func TestInProcessExecutorUnknownJob(t *testing.T) {
+	if _, err := (&inProcessExecutor{jobs: 1}).Collect("no-such-job", nil, 1); err == nil {
+		t.Fatal("unknown job accepted")
+	}
+}
+
+// TestMultiprocessSpawnFailure pins the error path when the worker
+// binary cannot start: a real error, no hang, no partial results.
+func TestMultiprocessSpawnFailure(t *testing.T) {
+	e := &multiProcessExecutor{shards: 1, argv: []string{"/nonexistent/worker-binary"}}
+	if _, err := e.Collect("delta", []byte("{}"), 1); err == nil {
+		t.Fatal("spawn of nonexistent binary succeeded")
+	}
+}
+
+// serveWorker runs ServeWorker over in-memory buffers against a
+// hand-built frame stream.
+func serveWorker(t *testing.T, frames func(sw *shard.StreamWriter)) (string, error) {
+	t.Helper()
+	var in, out bytes.Buffer
+	sw := shard.NewStreamWriter(&in)
+	frames(sw)
+	err := ServeWorker(&in, &out)
+	return out.String(), err
+}
+
+func jobHeader(name string, total uint64, params []byte) []byte {
+	hdr := shard.AppendString(nil, name)
+	hdr = shard.AppendUvarint(hdr, total)
+	return shard.AppendBytes(hdr, params)
+}
+
+func TestServeWorkerRejectsBadInput(t *testing.T) {
+	validParams, err := json.Marshal(fig5Params{Runs: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name   string
+		frames func(sw *shard.StreamWriter)
+	}{
+		{"empty stream", func(sw *shard.StreamWriter) {}},
+		{"unknown job", func(sw *shard.StreamWriter) {
+			sw.Frame(shard.FrameJob, jobHeader("no-such-job", 1, []byte("{}")))
+			sw.End()
+		}},
+		{"malformed params", func(sw *shard.StreamWriter) {
+			sw.Frame(shard.FrameJob, jobHeader("fig5", 1, []byte("{not json")))
+			sw.End()
+		}},
+		{"index before job", func(sw *shard.StreamWriter) {
+			sw.Frame(shard.FrameIndex, shard.AppendUvarint(nil, 0))
+			sw.End()
+		}},
+		{"index out of range", func(sw *shard.StreamWriter) {
+			sw.Frame(shard.FrameJob, jobHeader("fig5", 1, validParams))
+			sw.Frame(shard.FrameIndex, shard.AppendUvarint(nil, 7))
+			sw.End()
+		}},
+		{"truncated after job", func(sw *shard.StreamWriter) {
+			sw.Frame(shard.FrameJob, jobHeader("fig5", 1, validParams))
+			sw.Flush()
+		}},
+		{"result frame from parent", func(sw *shard.StreamWriter) {
+			sw.Frame(shard.FrameJob, jobHeader("fig5", 1, validParams))
+			sw.Frame(shard.FrameResult, shard.AppendUvarint(nil, 0))
+			sw.End()
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := serveWorker(t, tc.frames); err == nil {
+				t.Fatal("bad input accepted")
+			}
+		})
+	}
+}
+
+// TestServeWorkerRoundTrip drives the worker loop in memory and decodes
+// its result stream the way readShardResults does, pinning the child
+// side of the protocol without any process spawn.
+func TestServeWorkerRoundTrip(t *testing.T) {
+	params, err := json.Marshal(fig5Params{Runs: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := fig5Sizes()
+	// Declare 4 units so stride k=0 of 2 shards is exactly {0, 2} and
+	// readShardResults' completeness check matches what we feed.
+	const n = 4
+	out, err := serveWorker(t, func(sw *shard.StreamWriter) {
+		sw.Frame(shard.FrameJob, jobHeader("fig5", n, params))
+		sw.Frame(shard.FrameIndex, shard.AppendUvarint(nil, 0))
+		sw.Frame(shard.FrameIndex, shard.AppendUvarint(nil, 2))
+		sw.End()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := make([][]byte, n)
+	if err := readShardResults(strings.NewReader(out), n, 0, 2, res); err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{0, 2} {
+		r := shard.NewReader(res[i])
+		row := r.Strings()
+		if err := r.Close(); err != nil {
+			t.Fatalf("unit %d: %v", i, err)
+		}
+		if len(row) != 4 || row[0] != strconv.Itoa(sizes[i]) {
+			t.Fatalf("unit %d row = %v", i, row)
+		}
+	}
+}

@@ -63,6 +63,11 @@ type ExperimentScale struct {
 	// testbed the drivers build (ablation; output is byte-identical
 	// either way).
 	NoFork bool
+	// Exec selects the executor running the site-level fan-out: the
+	// zero value is the in-process pool, ExecMultiProcess shards units
+	// across worker child processes. Tables are byte-identical across
+	// executors and shard counts.
+	Exec Exec
 }
 
 // SmallScale is used by unit tests and benchmarks.
@@ -137,28 +142,43 @@ func Fig1Adoption(n int, seed int64) *Table {
 
 // --- Fig. 2a: testbed vs Internet variability ---
 
+// fig2aUnit builds one site's evaluation unit for Fig2aVariability:
+// full PLT/SI samples under scn, with or without push.
+func fig2aUnit(sites []*replay.Site, scn scenario.Scenario, push bool, scale ExperimentScale) func(rc *RunContext, i int) evalSamples {
+	return func(rc *RunContext, i int) evalSamples {
+		tb := scale.newTestbedFor(scn, len(sites))
+		tb.UseContext(rc)
+		var st strategy.Strategy = strategy.NoPush{}
+		if push {
+			st = strategy.PushAll{}
+		}
+		ev := tb.EvaluateStrategy(sites[i], st, nil)
+		return evalSamples{plt: ev.PLT, si: ev.SI}
+	}
+}
+
 // Fig2aVariability compares the per-site standard error of PLT and
 // SpeedIndex between the controlled DSL scenario and the Internet
 // scenario, with and without push.
-func Fig2aVariability(scale ExperimentScale) *Table {
+func Fig2aVariability(scale ExperimentScale) (*Table, error) {
 	sites := corpus.GenerateSet(corpus.RandomProfile(), scale.Sites, scale.Seed)
 	type cell struct{ plt, si []float64 }
-	run := func(scn scenario.Scenario, push bool) cell {
-		evs := collectWith(len(sites), scale.Jobs, newWorkerContext, func(rc *RunContext, i int) *Evaluation {
-			tb := scale.newTestbedFor(scn, len(sites))
-			tb.UseContext(rc)
-			var st strategy.Strategy = strategy.NoPush{}
-			if push {
-				st = strategy.PushAll{}
-			}
-			return tb.EvaluateStrategy(sites[i], st, nil)
-		})
-		var c cell
-		for _, ev := range evs {
-			c.plt = append(c.plt, float64(ev.PLT.StdErr())/float64(time.Millisecond))
-			c.si = append(c.si, float64(ev.SI.StdErr())/float64(time.Millisecond))
+	run := func(scn scenario.Scenario, push bool) (cell, error) {
+		unit := fig2aUnit(sites, scn, push, scale)
+		evs, err := fig2aJob.collect(scale,
+			fig2aParams{Scn: scn, Push: push, Scale: scaleParams(scale)},
+			len(sites), func() []evalSamples {
+				return collectWith(len(sites), scale.Jobs, newWorkerContext, unit)
+			})
+		if err != nil {
+			return cell{}, err
 		}
-		return c
+		var c cell
+		for i := range evs {
+			c.plt = append(c.plt, float64(evs[i].plt.StdErr())/float64(time.Millisecond))
+			c.si = append(c.si, float64(evs[i].si.StdErr())/float64(time.Millisecond))
+		}
+		return c, nil
 	}
 	t := &Table{
 		Title:  "Fig 2a: std. error of PLT/SpeedIndex per site, testbed vs Internet",
@@ -175,7 +195,10 @@ func Fig2aVariability(scale ExperimentScale) *Table {
 		{"push (Inet)", scenario.Internet(), true},
 		{"no push (Inet)", scenario.Internet(), false},
 	} {
-		c := run(cfg.scn, cfg.push)
+		c, err := run(cfg.scn, cfg.push)
+		if err != nil {
+			return nil, err
+		}
 		t.Rows = append(t.Rows, []string{
 			cfg.name,
 			pct(metrics.FractionBelow(c.plt, 50)),
@@ -185,17 +208,14 @@ func Fig2aVariability(scale ExperimentScale) *Table {
 			fmt.Sprintf("%.1f", metrics.MedianFloat64(c.plt)),
 		})
 	}
-	return t
+	return t, nil
 }
 
 // --- Fig. 2b / 3a / 3b: strategy deltas ---
 
-// deltaVsNoPush evaluates a strategy and the no-push baseline per site
-// and returns per-site median deltas in milliseconds (negative = push
-// better).
-func deltaVsNoPush(sites []*replay.Site, st strategy.Strategy, scale ExperimentScale, trace bool) (dPLT, dSI []float64) {
-	type delta struct{ plt, si float64 }
-	deltas := collectWith(len(sites), scale.Jobs, newWorkerContext, func(rc *RunContext, i int) delta {
+// deltaUnit builds one site's evaluation unit for deltaVsNoPush.
+func deltaUnit(sites []*replay.Site, st strategy.Strategy, scale ExperimentScale, trace bool) func(rc *RunContext, i int) deltaResult {
+	return func(rc *RunContext, i int) deltaResult {
 		site := sites[i]
 		tb := scale.newTestbed(len(sites))
 		tb.UseContext(rc)
@@ -205,23 +225,43 @@ func deltaVsNoPush(sites []*replay.Site, st strategy.Strategy, scale ExperimentS
 		}
 		baseEv := tb.EvaluateStrategy(site, strategy.NoPush{}, nil)
 		ev := tb.EvaluateStrategy(site, st, tr)
-		return delta{
+		return deltaResult{
 			plt: float64(ev.MedianPLT-baseEv.MedianPLT) / float64(time.Millisecond),
 			si:  float64(ev.MedianSI-baseEv.MedianSI) / float64(time.Millisecond),
 		}
-	})
+	}
+}
+
+// deltaVsNoPush evaluates a strategy and the no-push baseline per site
+// and returns per-site median deltas in milliseconds (negative = push
+// better). sites must be the deterministic GenerateSet of prof at this
+// scale — worker children rebuild the same set from prof's name.
+func deltaVsNoPush(prof corpus.Profile, sites []*replay.Site, st strategy.Strategy, scale ExperimentScale, trace bool) (dPLT, dSI []float64, err error) {
+	unit := deltaUnit(sites, st, scale, trace)
+	deltas, err := deltaJob.collect(scale,
+		deltaParams{Profile: prof.Name, Strategy: specFor(st), Trace: trace, Scale: scaleParams(scale)},
+		len(sites), func() []deltaResult {
+			return collectWith(len(sites), scale.Jobs, newWorkerContext, unit)
+		})
+	if err != nil {
+		return nil, nil, err
+	}
 	for _, d := range deltas {
 		dPLT = append(dPLT, d.plt)
 		dSI = append(dSI, d.si)
 	}
-	return
+	return dPLT, dSI, nil
 }
 
 // Fig2bPushVsNoPush reproduces the testbed validation: pushing the same
 // objects as recorded vs. the no-push baseline.
-func Fig2bPushVsNoPush(scale ExperimentScale) *Table {
-	sites := corpus.GenerateSet(corpus.RandomProfile(), scale.Sites, scale.Seed)
-	dPLT, dSI := deltaVsNoPush(sites, strategy.PushAll{}, scale, true)
+func Fig2bPushVsNoPush(scale ExperimentScale) (*Table, error) {
+	prof := corpus.RandomProfile()
+	sites := corpus.GenerateSet(prof, scale.Sites, scale.Seed)
+	dPLT, dSI, err := deltaVsNoPush(prof, sites, strategy.PushAll{}, scale, true)
+	if err != nil {
+		return nil, err
+	}
 	t := &Table{
 		Title:  "Fig 2b: delta push vs no push (testbed), per-site medians",
 		Header: []string{"metric", "improved (<0)", "no benefit (>=0)", "median delta (ms)"},
@@ -234,7 +274,7 @@ func Fig2bPushVsNoPush(scale ExperimentScale) *Table {
 	}
 	add("PLT", dPLT)
 	add("SpeedIndex", dSI)
-	return t
+	return t, nil
 }
 
 // PushableObjects reproduces the Sec. 4.2 statistic on both site sets.
@@ -265,7 +305,7 @@ func PushableObjects(scale ExperimentScale) *Table {
 }
 
 // Fig3aPushAll evaluates push-all vs no-push on both sets.
-func Fig3aPushAll(scale ExperimentScale) *Table {
+func Fig3aPushAll(scale ExperimentScale) (*Table, error) {
 	t := &Table{
 		Title:  "Fig 3a: SpeedIndex delta, push all (computed order) vs no push",
 		Header: []string{"set", "SI improved", "PLT improved", "median dSI (ms)", "median dPLT (ms)"},
@@ -273,7 +313,10 @@ func Fig3aPushAll(scale ExperimentScale) *Table {
 	}
 	for _, prof := range []corpus.Profile{corpus.TopProfile(), corpus.RandomProfile()} {
 		sites := corpus.GenerateSet(prof, scale.Sites, scale.Seed)
-		dPLT, dSI := deltaVsNoPush(sites, strategy.PushAll{}, scale, true)
+		dPLT, dSI, err := deltaVsNoPush(prof, sites, strategy.PushAll{}, scale, true)
+		if err != nil {
+			return nil, err
+		}
 		t.Rows = append(t.Rows, []string{
 			prof.Name,
 			pct(metrics.FractionBelow(dSI, 0)),
@@ -282,12 +325,13 @@ func Fig3aPushAll(scale ExperimentScale) *Table {
 			fmt.Sprintf("%.1f", metrics.MedianFloat64(dPLT)),
 		})
 	}
-	return t
+	return t, nil
 }
 
 // Fig3bPushAmount sweeps the number of pushed objects on the random set.
-func Fig3bPushAmount(scale ExperimentScale) *Table {
-	sites := corpus.GenerateSet(corpus.RandomProfile(), scale.Sites, scale.Seed)
+func Fig3bPushAmount(scale ExperimentScale) (*Table, error) {
+	prof := corpus.RandomProfile()
+	sites := corpus.GenerateSet(prof, scale.Sites, scale.Seed)
 	t := &Table{
 		Title:  "Fig 3b: delta vs no push when pushing the first n objects (random-100)",
 		Header: []string{"n", "PLT improved", "SI improved", "median dPLT (ms)", "median dSI (ms)"},
@@ -301,7 +345,10 @@ func Fig3bPushAmount(scale ExperimentScale) *Table {
 		strategy.PushAll{},
 	}
 	for _, st := range strategies {
-		dPLT, dSI := deltaVsNoPush(sites, st, scale, true)
+		dPLT, dSI, err := deltaVsNoPush(prof, sites, st, scale, true)
+		if err != nil {
+			return nil, err
+		}
 		t.Rows = append(t.Rows, []string{
 			st.Name(),
 			pct(metrics.FractionBelow(dPLT, 0)),
@@ -310,12 +357,13 @@ func Fig3bPushAmount(scale ExperimentScale) *Table {
 			fmt.Sprintf("%.1f", metrics.MedianFloat64(dSI)),
 		})
 	}
-	return t
+	return t, nil
 }
 
 // PushByTypeAnalysis reproduces the Sec. 4.2.1 object-type study.
-func PushByTypeAnalysis(scale ExperimentScale) *Table {
-	sites := corpus.GenerateSet(corpus.RandomProfile(), scale.Sites, scale.Seed)
+func PushByTypeAnalysis(scale ExperimentScale) (*Table, error) {
+	prof := corpus.RandomProfile()
+	sites := corpus.GenerateSet(prof, scale.Sites, scale.Seed)
 	t := &Table{
 		Title:  "Sec 4.2.1: pushing specific object types (random-100)",
 		Header: []string{"type", "SI improved", "SI worse", "median dSI (ms)"},
@@ -333,7 +381,10 @@ func PushByTypeAnalysis(scale ExperimentScale) *Table {
 		perSiteBest[i] = 1e18
 	}
 	for _, st := range types {
-		_, dSI := deltaVsNoPush(sites, st, scale, true)
+		_, dSI, err := deltaVsNoPush(prof, sites, st, scale, true)
+		if err != nil {
+			return nil, err
+		}
 		for i, v := range dSI {
 			if v < perSiteBest[i] {
 				perSiteBest[i] = v
@@ -354,21 +405,14 @@ func PushByTypeAnalysis(scale ExperimentScale) *Table {
 		pct(1 - metrics.FractionBelow(perSiteBest, 0)),
 		fmt.Sprintf("%.1f", metrics.MedianFloat64(perSiteBest)),
 	})
-	return t
+	return t, nil
 }
 
 // --- Fig. 4: synthetic sites with custom strategies ---
 
-// Fig4Synthetic compares push-all and the custom (critical) strategy on
-// s1-s10, relative to no push, with 95% confidence intervals.
-func Fig4Synthetic(scale ExperimentScale) *Table {
-	t := &Table{
-		Title:  "Fig 4: custom strategies on synthetic sites s1-s10 (delta vs no push, avg of runs)",
-		Header: []string{"site", "strategy", "dPLT (ms)", "dSI (ms)", "95% CI (ms)", "KB pushed"},
-		Notes:  []string{"paper: custom pushes far fewer bytes for comparable gains (s1: 309KB vs 1057KB)"},
-	}
-	sites := corpus.SyntheticSites()
-	rowsBySite := collectWith(len(sites), scale.Jobs, newWorkerContext, func(rc *RunContext, i int) [][]string {
+// fig4Unit builds one synthetic site's row fragment for Fig4Synthetic.
+func fig4Unit(sites []*replay.Site, scale ExperimentScale) func(rc *RunContext, i int) [][]string {
+	return func(rc *RunContext, i int) [][]string {
 		site := sites[i]
 		tb := scale.newTestbed(len(sites))
 		tb.UseContext(rc)
@@ -385,27 +429,42 @@ func Fig4Synthetic(scale ExperimentScale) *Table {
 			})
 		}
 		return rows
-	})
+	}
+}
+
+// Fig4Synthetic compares push-all and the custom (critical) strategy on
+// s1-s10, relative to no push, with 95% confidence intervals.
+func Fig4Synthetic(scale ExperimentScale) (*Table, error) {
+	t := &Table{
+		Title:  "Fig 4: custom strategies on synthetic sites s1-s10 (delta vs no push, avg of runs)",
+		Header: []string{"site", "strategy", "dPLT (ms)", "dSI (ms)", "95% CI (ms)", "KB pushed"},
+		Notes:  []string{"paper: custom pushes far fewer bytes for comparable gains (s1: 309KB vs 1057KB)"},
+	}
+	sites := corpus.SyntheticSites()
+	unit := fig4Unit(sites, scale)
+	rowsBySite, err := fig4Job.collect(scale, fig4Params{Scale: scaleParams(scale)},
+		len(sites), func() [][][]string {
+			return collectWith(len(sites), scale.Jobs, newWorkerContext, unit)
+		})
+	if err != nil {
+		return nil, err
+	}
 	for _, rows := range rowsBySite {
 		t.Rows = append(t.Rows, rows...)
 	}
-	return t
+	return t, nil
 }
 
 // --- Fig. 5b: interleaving motivating example ---
 
-// Fig5Interleaving builds the paper's test page (CSS in head, body text
-// varied from 10 to 90 KB) and compares no push, plain push and
-// interleaving push. jobs sizes the worker pool (jobCount semantics);
-// noFork disables checkpoint reuse (ablation, identical output).
-func Fig5Interleaving(runs int, seed int64, jobs int, noFork bool) *Table {
-	t := &Table{
-		Title:  "Fig 5b: SpeedIndex vs HTML size for no push / push / interleaving",
-		Header: []string{"html KB", "no push SI (ms)", "push SI (ms)", "interleaving SI (ms)"},
-		Notes:  []string{"paper: no push and push grow with HTML size; interleaving stays flat and fastest"},
-	}
-	sizes := []int{10, 20, 30, 40, 50, 60, 70, 80, 90}
-	t.Rows = collectWith(len(sizes), jobs, newWorkerContext, func(rc *RunContext, i int) []string {
+// fig5Sizes is the HTML-size sweep of the Fig. 5b test page, in KB.
+func fig5Sizes() []int { return []int{10, 20, 30, 40, 50, 60, 70, 80, 90} }
+
+// fig5Unit builds one HTML-size row for Fig5Interleaving. jobs sizes
+// the run-level pool inside each testbed (jobCount semantics).
+func fig5Unit(runs int, seed int64, jobs int, noFork bool) func(rc *RunContext, i int) []string {
+	sizes := fig5Sizes()
+	return func(rc *RunContext, i int) []string {
 		kb := sizes[i]
 		b := corpus.NewPage("fig5.test")
 		b.CSS("/style.css", corpus.SimpleCSS([]string{"hero", "body-text"}, 120))
@@ -434,8 +493,31 @@ func Fig5Interleaving(runs int, seed int64, jobs int, noFork bool) *Table {
 		return []string{
 			fmt.Sprint(kb), ms(evNo.MedianSI), ms(evPush.MedianSI), ms(evInt.MedianSI),
 		}
-	})
-	return t
+	}
+}
+
+// Fig5Interleaving builds the paper's test page (CSS in head, body text
+// varied from 10 to 90 KB) and compares no push, plain push and
+// interleaving push. Only Runs, Seed, Jobs, NoFork and Exec of scale
+// are used; the page sweep is fixed.
+func Fig5Interleaving(scale ExperimentScale) (*Table, error) {
+	t := &Table{
+		Title:  "Fig 5b: SpeedIndex vs HTML size for no push / push / interleaving",
+		Header: []string{"html KB", "no push SI (ms)", "push SI (ms)", "interleaving SI (ms)"},
+		Notes:  []string{"paper: no push and push grow with HTML size; interleaving stays flat and fastest"},
+	}
+	sizes := fig5Sizes()
+	unit := fig5Unit(scale.Runs, scale.Seed, scale.Jobs, scale.NoFork)
+	rows, err := fig5Job.collect(scale,
+		fig5Params{Runs: scale.Runs, Seed: scale.Seed, NoFork: scale.NoFork},
+		len(sizes), func() [][]string {
+			return collectWith(len(sizes), scale.Jobs, newWorkerContext, unit)
+		})
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = rows
+	return t, nil
 }
 
 // --- Fig. 6: the six strategies on w1-w20 ---
@@ -452,22 +534,9 @@ func PopularStrategies() []strategy.Strategy {
 	}
 }
 
-// Fig6Popular evaluates the six strategies on the modelled w1-w20 sites,
-// reporting average relative SpeedIndex change vs no push with 99.5%
-// confidence half-widths, plus pushed bytes.
-func Fig6Popular(ids []string, scale ExperimentScale) *Table {
-	if len(ids) == 0 {
-		ids = corpus.PopularSiteIDs()
-	}
-	t := &Table{
-		Title:  "Fig 6: strategies on modelled popular sites (relative SpeedIndex change vs no push)",
-		Header: []string{"site", "strategy", "dSI", "dPLT", "99.5% CI (ms)", "KB pushed"},
-		Notes: []string{
-			"paper: w1 -68.9% / w2 -29.7% / w16 -19.7% with push critical optimized;",
-			"w7/w8 limited by blocking JS, w9 favours push all, w10 image contention, w17 dilution",
-		},
-	}
-	rowsBySite := collectWith(len(ids), scale.Jobs, newWorkerContext, func(rc *RunContext, i int) [][]string {
+// fig6Unit builds one popular site's row fragment for Fig6Popular.
+func fig6Unit(ids []string, scale ExperimentScale) func(rc *RunContext, i int) [][]string {
+	return func(rc *RunContext, i int) [][]string {
 		site := corpus.PopularSite(ids[i])
 		if site == nil {
 			return nil
@@ -492,9 +561,35 @@ func Fig6Popular(ids []string, scale ExperimentScale) *Table {
 			})
 		}
 		return rows
-	})
+	}
+}
+
+// Fig6Popular evaluates the six strategies on the modelled w1-w20 sites,
+// reporting average relative SpeedIndex change vs no push with 99.5%
+// confidence half-widths, plus pushed bytes.
+func Fig6Popular(ids []string, scale ExperimentScale) (*Table, error) {
+	if len(ids) == 0 {
+		ids = corpus.PopularSiteIDs()
+	}
+	t := &Table{
+		Title:  "Fig 6: strategies on modelled popular sites (relative SpeedIndex change vs no push)",
+		Header: []string{"site", "strategy", "dSI", "dPLT", "99.5% CI (ms)", "KB pushed"},
+		Notes: []string{
+			"paper: w1 -68.9% / w2 -29.7% / w16 -19.7% with push critical optimized;",
+			"w7/w8 limited by blocking JS, w9 favours push all, w10 image contention, w17 dilution",
+		},
+	}
+	unit := fig6Unit(ids, scale)
+	rowsBySite, err := fig6Job.collect(scale,
+		fig6Params{IDs: ids, Scale: scaleParams(scale)},
+		len(ids), func() [][][]string {
+			return collectWith(len(ids), scale.Jobs, newWorkerContext, unit)
+		})
+	if err != nil {
+		return nil, err
+	}
 	for _, rows := range rowsBySite {
 		t.Rows = append(t.Rows, rows...)
 	}
-	return t
+	return t, nil
 }

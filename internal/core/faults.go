@@ -54,7 +54,11 @@ func FaultSweep(scs []scenario.Scenario, scale ExperimentScale) ([]*Table, error
 	sites := corpus.GenerateSet(corpus.RandomProfile(), scale.Sites, scale.Seed)
 	tables := make([]*Table, len(scs))
 	for i, sc := range scs {
-		tables[i] = faultTable(sc, sites, scale)
+		t, err := faultTable(sc, sites, scale)
+		if err != nil {
+			return nil, err
+		}
+		tables[i] = t
 	}
 	return tables, nil
 }
@@ -107,14 +111,12 @@ func (tb *Testbed) evaluateFaulted(site *replay.Site, st strategy.Strategy, tr *
 	})
 }
 
-// faultTable runs every (fault family, strategy) cell on the site set
-// under one scenario. The site-level fan-out mirrors the other drivers:
-// per-site work is self-contained and collected in site order, so the
-// table is identical for any Jobs value.
-func faultTable(scn scenario.Scenario, sites []*replay.Site, scale ExperimentScale) *Table {
+// faultUnit builds one site's evaluation unit for faultTable: every
+// (fault family, strategy) cell's run stats, in family-major order.
+func faultUnit(scn scenario.Scenario, sites []*replay.Site, scale ExperimentScale) func(rc *RunContext, i int) [][]faultRunStat {
 	fams := fault.Families()
 	sts := faultStrategies()
-	results := collectWith(len(sites), scale.Jobs, newWorkerContext, func(rc *RunContext, i int) [][]faultRunStat {
+	return func(rc *RunContext, i int) [][]faultRunStat {
 		site := sites[i]
 		// Dependency tracing stays fault-free: it models the paper's
 		// separate measurement step, not the faulted page loads.
@@ -133,7 +135,25 @@ func faultTable(scn scenario.Scenario, sites []*replay.Site, scale ExperimentSca
 			}
 		}
 		return cells
-	})
+	}
+}
+
+// faultTable runs every (fault family, strategy) cell on the site set
+// under one scenario. The site-level fan-out mirrors the other drivers:
+// per-site work is self-contained and collected in site order, so the
+// table is identical for any Jobs value.
+func faultTable(scn scenario.Scenario, sites []*replay.Site, scale ExperimentScale) (*Table, error) {
+	fams := fault.Families()
+	sts := faultStrategies()
+	unit := faultUnit(scn, sites, scale)
+	results, err := faultJob.collect(scale,
+		faultParams{Scn: scn, Scale: scaleParams(scale)},
+		len(sites), func() [][][]faultRunStat {
+			return collectWith(len(sites), scale.Jobs, newWorkerContext, unit)
+		})
+	if err != nil {
+		return nil, err
+	}
 	t := &Table{
 		Title: fmt.Sprintf("Fault sweep %s: load outcomes under scripted faults", scn.Name),
 		Header: []string{
@@ -183,5 +203,5 @@ func faultTable(scn scenario.Scenario, sites []*replay.Site, scale ExperimentSca
 			})
 		}
 	}
-	return t
+	return t, nil
 }

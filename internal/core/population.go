@@ -126,6 +126,49 @@ func (acc *popAccumulator) runUnit(shared netem.SharedProfile, cell *popCell,
 	}
 }
 
+// populationPrep applies every strategy to every site once, up front,
+// and forces the parse-once Prepared state: the applied sites are
+// shared read-only across all workers of every population.
+func populationPrep(sts []strategy.Strategy, sites []*replay.Site) ([][]*replay.Site, [][]replay.Plan, []browser.Config) {
+	applied := make([][]*replay.Site, len(sts))
+	plans := make([][]replay.Plan, len(sts))
+	cfgs := make([]browser.Config, len(sts))
+	for sj, st := range sts {
+		applied[sj] = make([]*replay.Site, len(sites))
+		plans[sj] = make([]replay.Plan, len(sites))
+		cfgs[sj] = browser.DefaultConfig()
+		switch st.(type) {
+		case strategy.NoPush, strategy.NoPushOptimized:
+			cfgs[sj].EnablePush = false
+		}
+		for i, site := range sites {
+			runSite, plan := st.Apply(site, nil)
+			runSite.Prepared()
+			applied[sj][i] = runSite
+			plans[sj][i] = plan
+		}
+	}
+	return applied, plans, cfgs
+}
+
+// popAddr decodes unit index u into its (client-count, strategy, run)
+// coordinates. Shared by the in-process loop and the population job,
+// which must agree on the unit order.
+func popAddr(u, nStrategies, runs int) (ci, sj, run int) {
+	ci = u / (nStrategies * runs)
+	sj = (u % (nStrategies * runs)) / runs
+	run = u % runs
+	return
+}
+
+// popSeed is the per-unit simulator seed. It depends on (population,
+// count, run) but not on the strategy: all strategies contend under
+// identical arrivals.
+func popSeed(seed int64, popIdx, ci, run int) int64 {
+	return seed*1_000_003 + int64(popIdx)*104_729 +
+		int64(ci)*15_485_863 + int64(run)*7919
+}
+
 // PopulationSweepNames resolves population preset names (nil or empty
 // = every preset) and runs PopulationSweep over them.
 func PopulationSweepNames(names []string, counts []int, scale ExperimentScale) ([]*Table, error) {
@@ -166,69 +209,62 @@ func PopulationSweep(pops []scenario.Population, counts []int, scale ExperimentS
 			return nil, fmt.Errorf("core: %w", err)
 		}
 	}
+	if err := scale.Exec.Validate(); err != nil {
+		return nil, err
+	}
 	sts := populationStrategies()
 	sites := corpus.GenerateSet(corpus.RandomProfile(), scale.Sites, scale.Seed)
-
-	// Apply every strategy to every site once, up front, and force the
-	// parse-once Prepared state: the applied sites are shared read-only
-	// across all workers of every population.
-	applied := make([][]*replay.Site, len(sts))
-	plans := make([][]replay.Plan, len(sts))
-	cfgs := make([]browser.Config, len(sts))
-	for sj, st := range sts {
-		applied[sj] = make([]*replay.Site, len(sites))
-		plans[sj] = make([]replay.Plan, len(sites))
-		cfgs[sj] = browser.DefaultConfig()
-		switch st.(type) {
-		case strategy.NoPush, strategy.NoPushOptimized:
-			cfgs[sj].EnablePush = false
-		}
-		for i, site := range sites {
-			runSite, plan := st.Apply(site, nil)
-			runSite.Prepared()
-			applied[sj][i] = runSite
-			plans[sj][i] = plan
-		}
-	}
+	applied, plans, cfgs := populationPrep(sts, sites)
 
 	tables := make([]*Table, 0, len(pops))
 	for popIdx, pop := range pops {
 		nUnits := len(counts) * len(sts) * scale.Runs
-		// Pre-size the per-worker accumulator slots with the same clamp
-		// forEachWith applies, so newC can publish each worker's
-		// accumulator into a disjoint index.
-		workers := jobCount(scale.Jobs)
-		if workers > nUnits {
-			workers = nUnits
-		}
-		if workers < 1 {
-			workers = 1
-		}
-		accs := make([]*popAccumulator, workers)
-		newC := func(w int) *popAccumulator {
-			acc := &popAccumulator{cells: make([]popCell, len(counts)*len(sts))}
-			accs[w] = acc
-			return acc
-		}
-		forEachWith(nUnits, scale.Jobs, newC, func(acc *popAccumulator, u int) {
-			ci := u / (len(sts) * scale.Runs)
-			sj := (u % (len(sts) * scale.Runs)) / scale.Runs
-			run := u % scale.Runs
-			shared := pop.Shared
-			shared.Clients = counts[ci]
-			// The seed depends on (population, count, run) but not on the
-			// strategy: all strategies contend under identical arrivals.
-			seed := scale.Seed*1_000_003 + int64(popIdx)*104_729 +
-				int64(ci)*15_485_863 + int64(run)*7919
-			acc.runUnit(shared, &acc.cells[ci*len(sts)+sj], applied[sj], plans[sj], cfgs[sj], run, seed)
-		})
 		total := make([]popCell, len(counts)*len(sts))
-		for _, acc := range accs {
-			if acc == nil {
-				continue
+		if scale.Exec.multiprocess() {
+			// Worker children compute one fresh cell per unit; merging
+			// them in unit order lands on the same totals as the
+			// per-worker accumulation below because popCell merges
+			// commutatively (pinned by the equivalence tests).
+			cells, err := populationJob.run(scale,
+				popParams{Pop: pop, Counts: counts, PopIdx: popIdx, Scale: scaleParams(scale)}, nUnits)
+			if err != nil {
+				return nil, err
 			}
-			for i := range total {
-				total[i].mergeFrom(&acc.cells[i])
+			for u := range cells {
+				ci, sj, _ := popAddr(u, len(sts), scale.Runs)
+				total[ci*len(sts)+sj].mergeFrom(&cells[u])
+			}
+		} else {
+			// Pre-size the per-worker accumulator slots with the same
+			// clamp forEachWith applies, so newC can publish each
+			// worker's accumulator into a disjoint index.
+			workers := jobCount(scale.Jobs)
+			if workers > nUnits {
+				workers = nUnits
+			}
+			if workers < 1 {
+				workers = 1
+			}
+			accs := make([]*popAccumulator, workers)
+			newC := func(w int) *popAccumulator {
+				acc := &popAccumulator{cells: make([]popCell, len(counts)*len(sts))}
+				accs[w] = acc
+				return acc
+			}
+			forEachWith(nUnits, scale.Jobs, newC, func(acc *popAccumulator, u int) {
+				ci, sj, run := popAddr(u, len(sts), scale.Runs)
+				shared := pop.Shared
+				shared.Clients = counts[ci]
+				acc.runUnit(shared, &acc.cells[ci*len(sts)+sj], applied[sj], plans[sj], cfgs[sj],
+					run, popSeed(scale.Seed, popIdx, ci, run))
+			})
+			for _, acc := range accs {
+				if acc == nil {
+					continue
+				}
+				for i := range total {
+					total[i].mergeFrom(&acc.cells[i])
+				}
 			}
 		}
 

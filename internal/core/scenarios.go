@@ -29,7 +29,11 @@ func ScenarioSweep(scs []scenario.Scenario, scale ExperimentScale) ([]*Table, er
 	sites := corpus.GenerateSet(corpus.RandomProfile(), scale.Sites, scale.Seed)
 	tables := make([]*Table, len(scs))
 	for i, sc := range scs {
-		tables[i] = scenarioTable(sc, sites, scale)
+		t, err := scenarioTable(sc, sites, scale)
+		if err != nil {
+			return nil, err
+		}
+		tables[i] = t
 	}
 	return tables, nil
 }
@@ -52,22 +56,31 @@ func ScenarioSweepNames(names []string, scale ExperimentScale) ([]*Table, error)
 	return ScenarioSweep(scs, scale)
 }
 
-// scenarioTable runs the Sec. 5 strategy set against the no-push
-// baseline on the given site set under one scenario. The site-level
-// fan-out mirrors the figure drivers: per-site work is self-contained
-// and collected in site order, so the table is identical for any Jobs.
-func scenarioTable(scn scenario.Scenario, sites []*replay.Site, scale ExperimentScale) *Table {
-	var sts []strategy.Strategy // everything vs the no-push baseline
+// contrastStrategies is the Sec. 5 strategy set minus the no-push
+// baseline every scenario table contrasts against. Shared by the
+// parent-side aggregation and the worker-side unit, which must agree
+// on column order.
+func contrastStrategies() []strategy.Strategy {
+	var sts []strategy.Strategy
 	for _, st := range PopularStrategies() {
 		if _, ok := st.(strategy.NoPush); !ok {
 			sts = append(sts, st)
 		}
 	}
-	type siteResult struct {
-		dPLT, dSI []float64 // per strategy, ms
-		pushedKB  []int64   // per strategy
-	}
-	results := collectWith(len(sites), scale.Jobs, newWorkerContext, func(rc *RunContext, i int) siteResult {
+	return sts
+}
+
+// siteResult is one site's scenario contrast: per-strategy deltas in
+// contrastStrategies order.
+type siteResult struct {
+	dPLT, dSI []float64 // per strategy, ms
+	pushedKB  []int64   // per strategy
+}
+
+// scenarioUnit builds one site's evaluation unit for scenarioTable.
+func scenarioUnit(scn scenario.Scenario, sites []*replay.Site, scale ExperimentScale) func(rc *RunContext, i int) siteResult {
+	sts := contrastStrategies()
+	return func(rc *RunContext, i int) siteResult {
 		site := sites[i]
 		tb := scale.newTestbedFor(scn, len(sites))
 		tb.UseContext(rc)
@@ -81,7 +94,24 @@ func scenarioTable(scn scenario.Scenario, sites []*replay.Site, scale Experiment
 			res.pushedKB = append(res.pushedKB, ev.BytesPushed/1024)
 		}
 		return res
-	})
+	}
+}
+
+// scenarioTable runs the Sec. 5 strategy set against the no-push
+// baseline on the given site set under one scenario. The site-level
+// fan-out mirrors the figure drivers: per-site work is self-contained
+// and collected in site order, so the table is identical for any Jobs.
+func scenarioTable(scn scenario.Scenario, sites []*replay.Site, scale ExperimentScale) (*Table, error) {
+	sts := contrastStrategies()
+	unit := scenarioUnit(scn, sites, scale)
+	results, err := scenarioJob.collect(scale,
+		scenarioParams{Scn: scn, Scale: scaleParams(scale)},
+		len(sites), func() []siteResult {
+			return collectWith(len(sites), scale.Jobs, newWorkerContext, unit)
+		})
+	if err != nil {
+		return nil, err
+	}
 	t := &Table{
 		Title:  fmt.Sprintf("Scenario %s: strategy deltas vs no push (random set)", scn.Name),
 		Header: []string{"strategy", "SI improved", "PLT improved", "median dSI (ms)", "median dPLT (ms)", "median KB pushed"},
@@ -104,7 +134,7 @@ func scenarioTable(scn scenario.Scenario, sites []*replay.Site, scale Experiment
 			fmt.Sprint(metrics.MedianInt64(kb)),
 		})
 	}
-	return t
+	return t, nil
 }
 
 // describeScenario renders the link parameters for the table notes,
